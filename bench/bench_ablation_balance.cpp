@@ -1,0 +1,88 @@
+/// Ablation A3 (paper §3 "The r-bipartition Constraint" + §4
+/// "Extensions"): weight-balance mechanisms.
+///
+///  - engineer's weighted completion vs plain greedy on weighted modules;
+///  - granularization of heavy modules ("replacing larger modules with
+///    linked uniform small modules ... the weight bipartition is more
+///    balanced");
+///  - the quotient-cut start-selection objective vs raw cutsize.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hypergraph/transform.hpp"
+#include "partition/partition.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace fhp;
+  using namespace fhp::bench;
+
+  print_header("A3 — weight-balance mechanisms on heavy-module circuits");
+
+  AsciiTable table({"configuration", "mean cut", "mean |w_L - w_R|",
+                    "imbalance / total %"});
+
+  CircuitParams params = standard_cell_params(0.8);
+  params.weight_geometric_p = 0.25;  // strong area spread
+
+  struct Row {
+    const char* name;
+    RunningStats cut;
+    RunningStats imbalance;
+    RunningStats fraction;
+  };
+  Row rows[] = {{"greedy completion", {}, {}, {}},
+                {"weighted completion", {}, {}, {}},
+                {"greedy + granularization", {}, {}, {}},
+                {"quotient-cut objective", {}, {}, {}}};
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Hypergraph h = generate_circuit(params, seed);
+    const auto total = static_cast<double>(h.total_vertex_weight());
+
+    auto record = [&](Row& row, EdgeId cut, Weight imbalance) {
+      row.cut.add(cut);
+      row.imbalance.add(static_cast<double>(imbalance));
+      row.fraction.add(100.0 * static_cast<double>(imbalance) / total);
+    };
+
+    Algorithm1Options base;
+    base.seed = seed;
+    {
+      const Algorithm1Result r = algorithm1(h, base);
+      record(rows[0], r.metrics.cut_edges, r.metrics.weight_imbalance);
+    }
+    {
+      Algorithm1Options o = base;
+      o.completion = CompletionStrategy::kWeightedGreedy;
+      const Algorithm1Result r = algorithm1(h, o);
+      record(rows[1], r.metrics.cut_edges, r.metrics.weight_imbalance);
+    }
+    {
+      const GranularizeResult g = granularize(h, 2, /*link_weight=*/6);
+      const Algorithm1Result r = algorithm1(g.hypergraph, base);
+      const auto sides = project_granularized_sides(g, r.sides);
+      const Bipartition projected(h, sides);
+      record(rows[2], projected.cut_edges(), projected.weight_imbalance());
+    }
+    {
+      Algorithm1Options o = base;
+      o.objective = Objective::kQuotient;
+      const Algorithm1Result r = algorithm1(h, o);
+      record(rows[3], r.metrics.cut_edges, r.metrics.weight_imbalance);
+    }
+  }
+
+  for (Row& row : rows) {
+    table.add_row({row.name, AsciiTable::num(row.cut.mean(), 1),
+                   AsciiTable::num(row.imbalance.mean(), 1),
+                   AsciiTable::num(row.fraction.mean(), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: each mechanism tightens the weight balance relative to"
+      "\nplain greedy at a modest cutsize premium — the paper's 'improved"
+      "\nweight partition is obtained at the cost of slightly higher"
+      "\ncutsizes'.\n");
+  return 0;
+}

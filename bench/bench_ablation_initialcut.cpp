@@ -1,0 +1,64 @@
+/// Ablation (paper §4 "alternative greedy methods"): how the initial cut
+/// of G is generated. The paper's bidirectional BFS meet-in-the-middle is
+/// compared against the exhaustive level-prefix sweep from one endpoint
+/// (better cut positions, more work per start) at equal start budgets.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace fhp;
+  using namespace fhp::bench;
+
+  print_header("A4 — initial-cut strategy: bidirectional BFS vs level sweep");
+
+  AsciiTable table({"instance", "starts", "bidirectional cut", "ms",
+                    "level sweep cut", "ms"});
+
+  const Table2Instance picks[] = {
+      {"Bd3", 242, 502, Technology::kPcb, false, 0},
+      {"IC1", 561, 800, Technology::kStandardCell, false, 0},
+      {"Diff1", 500, 700, Technology::kStandardCell, true, 4},
+  };
+
+  for (const Table2Instance& inst : picks) {
+    const Hypergraph h = make_instance(inst, 42);
+    for (int starts : {1, 10}) {
+      RunningStats bidi_cut;
+      RunningStats bidi_ms;
+      RunningStats sweep_cut;
+      RunningStats sweep_ms;
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        Algorithm1Options options;
+        options.seed = seed;
+        options.num_starts = starts;
+        {
+          Timer timer;
+          bidi_cut.add(algorithm1(h, options).metrics.cut_edges);
+          bidi_ms.add(timer.millis());
+        }
+        options.initial_cut = InitialCutStrategy::kLevelSweep;
+        {
+          Timer timer;
+          sweep_cut.add(algorithm1(h, options).metrics.cut_edges);
+          sweep_ms.add(timer.millis());
+        }
+      }
+      table.add_row({inst.name, std::to_string(starts),
+                     AsciiTable::num(bidi_cut.mean(), 1),
+                     AsciiTable::num(bidi_ms.mean(), 1),
+                     AsciiTable::num(sweep_cut.mean(), 1),
+                     AsciiTable::num(sweep_ms.mean(), 1)});
+    }
+    table.add_separator();
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: with a balance guard the sweep explores more cut"
+      "\npositions per start and wins on hierarchical circuits once a few"
+      "\nstarts are pooled (at ~3x the cost); the paper's bidirectional"
+      "\nrule remains better on planted difficult instances, where the"
+      "\nmeet-in-the-middle frontier lands on the hidden bisection.\n");
+  return 0;
+}

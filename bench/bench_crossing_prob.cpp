@@ -1,0 +1,79 @@
+/// Claim C1 (paper §3 theorem): in a random hypergraph, a net with k pins
+/// crosses the min-cut bipartition with probability 1 - O(2^-k).
+///
+/// We measure, per net size k, the fraction of nets crossing the best
+/// partition found (multi-start Algorithm I refined by FM — the strongest
+/// cut we can produce), on netlists with a wide net-size mix, and print it
+/// against the 1 - 2^(1-k) reference curve.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace fhp;
+  using namespace fhp::bench;
+
+  print_header("C1 — P(net of size k crosses the best cut) vs 1 - O(2^-k)");
+
+  constexpr std::uint32_t kMaxSize = 24;
+  std::vector<double> crossing(kMaxSize + 1, 0.0);
+  std::vector<double> count(kMaxSize + 1, 0.0);
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    // The theorem addresses *random* hypergraphs — pins placed uniformly,
+    // no hierarchy. (On hierarchical netlists, small local nets cross far
+    // more rarely; that is the §4 observation, not this theorem.)
+    CircuitParams params = standard_cell_params(0.6);
+    params.locality = 0.0;
+    params.window_fraction = 1.0;  // every net drawn design-wide
+    params.size_geometric_p = 0.35;
+    params.max_net_size = 18;
+    params.bus_fraction = 0.03;
+    params.bus_size_min = 18;
+    params.bus_size_max = kMaxSize;
+    const Hypergraph h = generate_circuit(params, seed);
+
+    // Best near-*bisection* we can find (the theorem is about min-cut
+    // bisections): FM with the classic tight tolerance, best of 3 starts.
+    BaselineResult best;
+    for (std::uint64_t attempt = 0; attempt < 3; ++attempt) {
+      FmOptions fm;
+      fm.seed = seed * 17 + attempt;
+      BaselineResult r = fiduccia_mattheyses(h, fm);
+      if (attempt == 0 || r.metrics.cut_edges < best.metrics.cut_edges) {
+        best = std::move(r);
+      }
+    }
+
+    for (EdgeId e = 0; e < h.num_edges(); ++e) {
+      const std::uint32_t size = std::min(h.edge_size(e), kMaxSize);
+      if (size < 2) continue;
+      bool l = false;
+      bool r = false;
+      for (VertexId v : h.pins(e)) {
+        (best.sides[v] == 0 ? l : r) = true;
+      }
+      count[size] += 1.0;
+      if (l && r) crossing[size] += 1.0;
+    }
+  }
+
+  AsciiTable table({"net size k", "#nets", "crossing %", "1 - 2^(1-k) %"});
+  for (std::uint32_t k = 2; k <= kMaxSize; ++k) {
+    if (count[k] < 1) continue;
+    const double measured = 100.0 * crossing[k] / count[k];
+    const double reference = 100.0 * (1.0 - std::pow(2.0, 1.0 - double(k)));
+    table.add_row({std::to_string(k) + (k == kMaxSize ? "+" : ""),
+                   AsciiTable::num(count[k], 0), AsciiTable::num(measured, 1),
+                   AsciiTable::num(reference, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: crossing probability climbs toward 100%% as k grows,"
+      "\ntracking the 1 - O(2^-k) bound; by k ~ 10 nearly every net"
+      "\ncrosses, so the paper's threshold-10 filter loses almost no"
+      "\ncut accuracy.\n");
+  return 0;
+}

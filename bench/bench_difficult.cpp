@@ -1,0 +1,65 @@
+/// Claim C5 (paper §4): on difficult inputs — planted bisections with
+/// c = o(n^{1-1/d}) — Algorithm I always finds a min-cut bipartition,
+/// while KL and annealing often stick at poor local minima; at c = 0 the
+/// BFS detects unconnectedness outright.
+///
+/// Sweep the planted cutsize c on dense 500-module instances and report,
+/// per algorithm: success rate (cut <= planted c) and mean cut found.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace fhp;
+  using namespace fhp::bench;
+
+  print_header("C5 — planted difficult instances: who finds the min cut?");
+
+  AsciiTable table({"planted c", "AlgI found", "AlgI mean", "KL found",
+                    "KL mean", "SA found", "SA mean", "FM found", "FM mean"});
+
+  constexpr int kRuns = 5;
+  for (EdgeId c : {0U, 2U, 4U, 8U, 16U}) {
+    int found[4] = {0, 0, 0, 0};
+    RunningStats mean_cut[4];
+    for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
+      // The paper's Diff shape: (500, 700) with 2-pin nets — a sparse
+      // ~3-regular planted-bisection graph, the classic family where
+      // local search sticks (Bui et al. [5]).
+      PlantedParams params;
+      params.num_vertices = 500;
+      params.num_edges = 700;
+      params.planted_cut = c;
+      params.min_edge_size = 2;
+      params.max_edge_size = 2;
+      params.max_degree = 0;
+      const PlantedInstance inst = planted_instance(params, 100 + seed);
+      const Hypergraph& h = inst.hypergraph;
+
+      const TimedRun runs[4] = {run_algorithm1(h, seed), run_kl(h, seed),
+                                run_sa(h, seed), run_fm(h, seed)};
+      for (int a = 0; a < 4; ++a) {
+        if (runs[a].cut <= inst.planted_cut) ++found[a];
+        mean_cut[a].add(runs[a].cut);
+      }
+    }
+    table.add_row({std::to_string(c),
+                   std::to_string(found[0]) + "/" + std::to_string(kRuns),
+                   AsciiTable::num(mean_cut[0].mean(), 1),
+                   std::to_string(found[1]) + "/" + std::to_string(kRuns),
+                   AsciiTable::num(mean_cut[1].mean(), 1),
+                   std::to_string(found[2]) + "/" + std::to_string(kRuns),
+                   AsciiTable::num(mean_cut[2].mean(), 1),
+                   std::to_string(found[3]) + "/" + std::to_string(kRuns),
+                   AsciiTable::num(mean_cut[3].mean(), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: Algorithm I recovers the planted cut essentially always"
+      "\n(the paper's 'performance is almost always optimum' on difficult"
+      "\nrandom hypergraphs); the local-search baselines degrade as the"
+      "\nplanted cut gets small relative to instance density. c = 0 is the"
+      "\npathological disconnected case handled by the BFS shortcut.\n");
+  return 0;
+}

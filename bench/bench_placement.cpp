@@ -1,0 +1,92 @@
+/// Application-level evaluation (paper §1 motivation): min-cut placement
+/// quality as a function of the bisection engine. The paper's pitch is
+/// that Algorithm I makes a drop-in, much faster engine for Breuer-style
+/// placement; here we race the engines on half-perimeter wirelength,
+/// region-spanning nets, and placer runtime across technology presets.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "place/placement.hpp"
+#include "place/route.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace fhp;
+  using namespace fhp::bench;
+
+  print_header("Placement — engine comparison (4x4 grid, HPWL)");
+
+  const struct {
+    PlacementEngine engine;
+    int starts;  // Algorithm I start budget (ignored by other engines)
+    bool terminal_propagation;
+    const char* name;
+  } engines[] = {
+      {PlacementEngine::kAlgorithm1, 50, true, "Algorithm I (50 starts)"},
+      {PlacementEngine::kAlgorithm1, 5, true, "Algorithm I (5 starts)"},
+      {PlacementEngine::kAlgorithm1, 50, false, "Algorithm I (no term-prop)"},
+      {PlacementEngine::kFm, 50, true, "Fiduccia-Mattheyses"},
+      {PlacementEngine::kKl, 50, true, "Kernighan-Lin"},
+      {PlacementEngine::kRandom, 50, true, "Random"},
+  };
+
+  for (Technology tech : {Technology::kStandardCell, Technology::kGateArray}) {
+    const Hypergraph h = generate_circuit(params_for(tech, 1.0), 31);
+    std::printf("\n%s: %u modules, %u nets\n", technology_name(tech).c_str(),
+                h.num_vertices(), h.num_edges());
+    AsciiTable table({"engine", "HPWL", "vs random", "spanning nets",
+                      "route WL", "peak cong", "ms"});
+
+    // Random baseline first so every row can be normalized against it.
+    double random_hpwl = 0.0;
+    {
+      RunningStats hpwl;
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        PlacementOptions options;
+        options.engine = PlacementEngine::kRandom;
+        options.seed = seed;
+        hpwl.add(half_perimeter_wirelength(h, place_mincut(h, options)));
+      }
+      random_hpwl = hpwl.mean();
+    }
+    for (const auto& entry : engines) {
+      RunningStats hpwl;
+      RunningStats spanning;
+      RunningStats millis;
+      RunningStats route_wl;
+      RunningStats congestion;
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        PlacementOptions options;
+        options.engine = entry.engine;
+        options.algorithm1.num_starts = entry.starts;
+        options.terminal_propagation = entry.terminal_propagation;
+        options.seed = seed;
+        Timer timer;
+        const Placement p = place_mincut(h, options);
+        millis.add(timer.millis());
+        hpwl.add(half_perimeter_wirelength(h, p));
+        spanning.add(spanning_nets(h, p));
+        const RoutingResult routed = route_global(h, p);
+        route_wl.add(static_cast<double>(routed.wirelength));
+        congestion.add(routed.max_usage);
+      }
+      if (entry.engine == PlacementEngine::kRandom) random_hpwl = hpwl.mean();
+      table.add_row({entry.name, AsciiTable::num(hpwl.mean(), 0),
+                     random_hpwl > 0
+                         ? AsciiTable::num(hpwl.mean() / random_hpwl, 2)
+                         : "-",
+                     AsciiTable::num(spanning.mean(), 0),
+                     AsciiTable::num(route_wl.mean(), 0),
+                     AsciiTable::num(congestion.mean(), 0),
+                     AsciiTable::num(millis.mean(), 1)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  std::printf(
+      "\nReading: the recursive min-cut loop with Algorithm I lands in the"
+      "\nsame wirelength band as the iterative-improvement engines and far"
+      "\nbelow random placement; trimming the start budget buys most of"
+      "\nthe speed back with little wirelength loss — the engine trade"
+      "\nthe paper's speed claim enables.\n");
+  return 0;
+}

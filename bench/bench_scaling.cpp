@@ -1,0 +1,113 @@
+/// Claim C6 (paper §1/§5): Algorithm I runs in O(n²) where n is the
+/// number of signals, and is "significantly faster than all existing
+/// heuristics".
+///
+/// Part 1 fits the empirical growth exponent of the full pipeline
+/// (intersection-graph build + 50 starts) over a 16x size sweep — the
+/// exponent should land well below 3 and near 2 or lower (sparse
+/// instances often behave sub-quadratically).
+/// Part 2 is a google-benchmark timing comparison of all algorithms at a
+/// fixed, Table-2-sized instance.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace fhp;
+using namespace fhp::bench;
+
+Hypergraph sized_instance(VertexId n, std::uint64_t seed) {
+  return generate_circuit(
+      table2_params(n, static_cast<EdgeId>(n * 7 / 4),
+                    Technology::kStandardCell),
+      seed);
+}
+
+void growth_report() {
+  print_header("C6a — growth exponent of Algorithm I (50 starts)");
+  AsciiTable table({"modules", "signals", "seconds"});
+  std::vector<double> ns;
+  std::vector<double> ts;
+  for (VertexId n : {250U, 500U, 1000U, 2000U, 4000U}) {
+    const Hypergraph h = sized_instance(n, 17);
+    // Median of three runs to tame scheduler noise.
+    std::vector<double> times;
+    for (int rep = 0; rep < 3; ++rep) {
+      times.push_back(run_algorithm1(h, rep).seconds);
+    }
+    const double t = median(times);
+    ns.push_back(static_cast<double>(h.num_edges()));
+    ts.push_back(t);
+    table.add_row({std::to_string(n), std::to_string(h.num_edges()),
+                   AsciiTable::num(t * 1e3, 2) + " ms"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("fitted runtime exponent b (t ~ n^b): %.2f  (paper bound: 2)\n",
+              fit_growth_exponent(ns, ts));
+}
+
+const Hypergraph& fixed_instance() {
+  static const Hypergraph h = sized_instance(561, 23);  // IC1-sized
+  return h;
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  const Hypergraph& h = fixed_instance();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_algorithm1(h, seed++).cut);
+  }
+}
+BENCHMARK(BM_Algorithm1)->Unit(benchmark::kMillisecond);
+
+void BM_Algorithm1SingleStart(benchmark::State& state) {
+  const Hypergraph& h = fixed_instance();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_algorithm1(h, seed++, /*starts=*/1).cut);
+  }
+}
+BENCHMARK(BM_Algorithm1SingleStart)->Unit(benchmark::kMillisecond);
+
+void BM_FiducciaMattheyses(benchmark::State& state) {
+  const Hypergraph& h = fixed_instance();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fm(h, seed++).cut);
+  }
+}
+BENCHMARK(BM_FiducciaMattheyses)->Unit(benchmark::kMillisecond);
+
+void BM_KernighanLin(benchmark::State& state) {
+  const Hypergraph& h = fixed_instance();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_kl(h, seed++).cut);
+  }
+}
+BENCHMARK(BM_KernighanLin)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedAnnealing(benchmark::State& state) {
+  const Hypergraph& h = fixed_instance();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sa(h, seed++).cut);
+  }
+}
+BENCHMARK(BM_SimulatedAnnealing)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  growth_report();
+  print_header("C6b — wall-clock comparison at IC1 size (561 modules)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// Reproduces **Table 1** of the paper: the percentage of large signals
+/// (k >= 20, k >= 14, k >= 8 pins) that cross the best simulated-annealing
+/// partition, per technology, averaged over 10 SA runs per example.
+///
+/// Paper values (percent crossing):
+///   PCB       99 / 98 / 97
+///   Std-cell  (high 90s; exact digits illegible in the source scan)
+///   Gate-array / Hybrid rows likewise high-90s
+///
+/// The claim under test: nets above a small pin-count threshold almost
+/// always contribute to the cut, which justifies ignoring them during
+/// partitioning (§3).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace fhp;
+using namespace fhp::bench;
+
+struct CrossingStats {
+  RunningStats k20;
+  RunningStats k14;
+  RunningStats k8;
+};
+
+/// Fraction (%) of nets with >= k pins crossing under `sides`; returns -1
+/// when the instance has no such net.
+double crossing_percent(const Hypergraph& h,
+                        const std::vector<std::uint8_t>& sides,
+                        std::uint32_t k) {
+  EdgeId large = 0;
+  EdgeId crossing = 0;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    if (h.edge_size(e) < k) continue;
+    ++large;
+    bool l = false;
+    bool r = false;
+    for (VertexId v : h.pins(e)) {
+      (sides[v] == 0 ? l : r) = true;
+    }
+    if (l && r) ++crossing;
+  }
+  if (large == 0) return -1.0;
+  return 100.0 * static_cast<double>(crossing) / static_cast<double>(large);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 1 — % of large signals crossing the best SA partition "
+      "(10 SA runs per example)");
+
+  const struct {
+    Technology tech;
+    double scale;
+    double bus_fraction;  // enough buses that the k >= 20 bucket is filled
+  } rows[] = {
+      {Technology::kPcb, 1.5, 0.04},
+      {Technology::kStandardCell, 1.0, 0.03},
+      {Technology::kGateArray, 0.8, 0.03},
+      {Technology::kHybrid, 2.0, 0.06},
+  };
+
+  AsciiTable table({"Technology", "k>=20 %", "k>=14 %", "k>=8 %",
+                    "paper (k>=20/14/8)"});
+  const char* paper[] = {"99 / 98 / 97", "high 90s", "high 90s", "high 90s"};
+
+  int row_idx = 0;
+  for (const auto& row : rows) {
+    CircuitParams params = params_for(row.tech, row.scale);
+    params.bus_fraction = row.bus_fraction;
+    params.bus_size_min = 14;
+    params.bus_size_max = 36;
+    CrossingStats stats;
+    // "Results averaged over 10 simulated annealing runs for each example."
+    for (std::uint64_t run = 0; run < 10; ++run) {
+      const Hypergraph h = generate_circuit(params, 1000 + run);
+      const TimedRun sa = run_sa(h, 7000 + run);
+      const double c20 = crossing_percent(h, sa.sides, 20);
+      const double c14 = crossing_percent(h, sa.sides, 14);
+      const double c8 = crossing_percent(h, sa.sides, 8);
+      if (c20 >= 0) stats.k20.add(c20);
+      if (c14 >= 0) stats.k14.add(c14);
+      if (c8 >= 0) stats.k8.add(c8);
+    }
+    table.add_row({technology_name(row.tech), AsciiTable::num(stats.k20.mean(), 1),
+                   AsciiTable::num(stats.k14.mean(), 1),
+                   AsciiTable::num(stats.k8.mean(), 1), paper[row_idx]});
+    ++row_idx;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: nets above ~14 pins cross the best heuristic partition"
+      "\nnearly always, so the large-net filter of Algorithm I forfeits"
+      "\nalmost nothing (paper section 3).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// Topology study (beyond the paper's tables, within its motivation):
+/// how do the algorithm families behave across *structured* circuit
+/// topologies with known cut geometry? Datapaths (adder) should be nearly
+/// free to cut, arrays cost Θ(side), butterflies are expanders (every
+/// balanced cut is expensive), trees cost O(1).
+#include <cstdio>
+
+#include "baselines/multilevel.hpp"
+#include "bench_common.hpp"
+#include "gen/grid.hpp"
+#include "gen/structured.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace fhp;
+  using namespace fhp::bench;
+
+  print_header("Topologies — cutsize by circuit structure");
+
+  struct Row {
+    const char* name;
+    Hypergraph h;
+    const char* floor;  // geometric intuition for the minimum
+  };
+  Row rows[] = {
+      {"ripple adder (64b)", ripple_carry_adder(64), "O(1) carry chain"},
+      {"array multiplier 16x16", array_multiplier(16), "~n fwd nets + buses"},
+      {"mesh 24x24", grid_circuit({24, 24, 0.0, false}), "~24 rails"},
+      {"butterfly 2^5 x 5", butterfly_network(5, 5), "Theta(n) expander"},
+      {"H-tree depth 9", h_tree(9), "1 subtree net"},
+  };
+
+  AsciiTable table({"topology", "modules/nets", "Alg I", "FM", "Multilevel",
+                    "SA", "expected floor"});
+  for (Row& row : rows) {
+    const Hypergraph& h = row.h;
+    const TimedRun alg = run_algorithm1(h, 1);
+    const TimedRun fm = run_fm(h, 2);
+    MultilevelOptions ml_options;
+    ml_options.seed = 3;
+    const BaselineResult ml = multilevel_bipartition(h, ml_options);
+    const TimedRun sa = run_sa(h, 4);
+    table.add_row({row.name,
+                   std::to_string(h.num_vertices()) + "/" +
+                       std::to_string(h.num_edges()),
+                   std::to_string(alg.cut), std::to_string(fm.cut),
+                   std::to_string(ml.metrics.cut_edges),
+                   std::to_string(sa.cut), row.floor});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: every method tracks the geometric floor on easy"
+      "\ntopologies (adder, tree); arrays separate the methods that"
+      "\nexploit structure from those that don't; the butterfly is"
+      "\nuniformly expensive — no heuristic can beat an expander's"
+      "\nbisection width.\n");
+  return 0;
+}

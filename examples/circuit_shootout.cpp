@@ -1,0 +1,119 @@
+/// Circuit shoot-out: generate one netlist per technology preset and race
+/// every partitioner in the library on it — Algorithm I (with and without
+/// FM refinement), Fiduccia–Mattheyses, Kernighan–Lin, simulated
+/// annealing, and the random-bisection yardstick.
+///
+/// Usage: circuit_shootout [scale] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/flow.hpp"
+#include "baselines/fm.hpp"
+#include "baselines/multilevel.hpp"
+#include "baselines/kl.hpp"
+#include "baselines/random_cut.hpp"
+#include "baselines/sa.hpp"
+#include "baselines/spectral.hpp"
+#include "core/algorithm1.hpp"
+#include "gen/circuit.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhp;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 11;
+
+  for (Technology tech : {Technology::kPcb, Technology::kStandardCell,
+                          Technology::kGateArray, Technology::kHybrid}) {
+    const Hypergraph h = generate_circuit(params_for(tech, scale), seed);
+    std::printf("\n%s: %u modules, %u nets\n", technology_name(tech).c_str(),
+                h.num_vertices(), h.num_edges());
+
+    AsciiTable table({"algorithm", "cut", "quotient", "|w_L - w_R|", "ms"});
+    auto add = [&](const char* name, EdgeId cut, double quotient,
+                   Weight imbalance, double ms) {
+      table.add_row({name, std::to_string(cut),
+                     AsciiTable::num(quotient, 4),
+                     std::to_string(static_cast<long long>(imbalance)),
+                     AsciiTable::num(ms, 1)});
+    };
+
+    {
+      Algorithm1Options options;
+      options.seed = seed;
+      Timer timer;
+      const Algorithm1Result r = algorithm1(h, options);
+      const double ms = timer.millis();
+      add("Algorithm I (50 starts)", r.metrics.cut_edges,
+          r.metrics.quotient_cut, r.metrics.weight_imbalance, ms);
+
+      Timer refine_timer;
+      FmOptions fm;
+      fm.seed = seed;
+      fm.initial = r.sides;
+      const BaselineResult refined = fiduccia_mattheyses(h, fm);
+      add("Algorithm I + FM refine", refined.metrics.cut_edges,
+          refined.metrics.quotient_cut, refined.metrics.weight_imbalance,
+          ms + refine_timer.millis());
+    }
+    {
+      FmOptions options;
+      options.seed = seed;
+      Timer timer;
+      const BaselineResult r = fiduccia_mattheyses(h, options);
+      add("Fiduccia-Mattheyses", r.metrics.cut_edges, r.metrics.quotient_cut,
+          r.metrics.weight_imbalance, timer.millis());
+    }
+    {
+      KlOptions options;
+      options.seed = seed;
+      Timer timer;
+      const BaselineResult r = kernighan_lin(h, options);
+      add("Kernighan-Lin", r.metrics.cut_edges, r.metrics.quotient_cut,
+          r.metrics.weight_imbalance, timer.millis());
+    }
+    {
+      SaOptions options;
+      options.seed = seed;
+      Timer timer;
+      const BaselineResult r = simulated_annealing(h, options);
+      add("Simulated annealing", r.metrics.cut_edges, r.metrics.quotient_cut,
+          r.metrics.weight_imbalance, timer.millis());
+    }
+    {
+      FlowOptions options;
+      options.seed = seed;
+      Timer timer;
+      const BaselineResult r = flow_bipartition(h, options);
+      add("Network flow (8 pairs)", r.metrics.cut_edges,
+          r.metrics.quotient_cut, r.metrics.weight_imbalance, timer.millis());
+    }
+    {
+      MultilevelOptions options;
+      options.seed = seed;
+      Timer timer;
+      const BaselineResult r = multilevel_bipartition(h, options);
+      add("Multilevel V-cycle", r.metrics.cut_edges, r.metrics.quotient_cut,
+          r.metrics.weight_imbalance, timer.millis());
+    }
+    {
+      SpectralOptions options;
+      options.seed = seed;
+      Timer timer;
+      const BaselineResult r = spectral_bipartition(h, options);
+      add("Spectral sweep", r.metrics.cut_edges, r.metrics.quotient_cut,
+          r.metrics.weight_imbalance, timer.millis());
+    }
+    {
+      Timer timer;
+      const BaselineResult r = best_random_bisection(h, 50, seed);
+      add("Random (best of 50)", r.metrics.cut_edges, r.metrics.quotient_cut,
+          r.metrics.weight_imbalance, timer.millis());
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// Difficult-inputs demo (paper §4): generate a sparse planted-bisection
+/// instance — minimum cut far below the random expectation — and watch
+/// Algorithm I walk straight to it while Kernighan–Lin and
+/// Fiduccia–Mattheyses stick at local minima an order of magnitude worse.
+///
+/// Usage: difficult_inputs [n] [edges] [planted_cut] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/fm.hpp"
+#include "baselines/kl.hpp"
+#include "baselines/sa.hpp"
+#include "core/algorithm1.hpp"
+#include "gen/planted.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhp;
+
+  PlantedParams params;
+  params.num_vertices = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1]))
+                                 : 500;
+  params.num_edges =
+      argc > 2 ? static_cast<EdgeId>(std::atoi(argv[2])) : 700;
+  params.planted_cut =
+      argc > 3 ? static_cast<EdgeId>(std::atoi(argv[3])) : 4;
+  params.min_edge_size = 2;
+  params.max_edge_size = 2;
+  params.max_degree = 0;
+  const std::uint64_t seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 7;
+
+  const PlantedInstance inst = planted_instance(params, seed);
+  std::printf(
+      "planted instance: %u modules, %u nets, hidden bisection of cut %u\n\n",
+      inst.hypergraph.num_vertices(), inst.hypergraph.num_edges(),
+      inst.planted_cut);
+
+  {
+    Algorithm1Options options;
+    options.seed = seed;
+    Timer timer;
+    const Algorithm1Result r = algorithm1(inst.hypergraph, options);
+    std::printf("Algorithm I        : cut %4u (%.0f ms)%s\n",
+                r.metrics.cut_edges, timer.millis(),
+                r.metrics.cut_edges <= inst.planted_cut
+                    ? "   <- found the planted cut"
+                    : "");
+  }
+  {
+    KlOptions options;
+    options.seed = seed;
+    Timer timer;
+    const BaselineResult r = kernighan_lin(inst.hypergraph, options);
+    std::printf("Kernighan-Lin      : cut %4u (%.0f ms)\n",
+                r.metrics.cut_edges, timer.millis());
+  }
+  {
+    FmOptions options;
+    options.seed = seed;
+    Timer timer;
+    const BaselineResult r = fiduccia_mattheyses(inst.hypergraph, options);
+    std::printf("Fiduccia-Mattheyses: cut %4u (%.0f ms)\n",
+                r.metrics.cut_edges, timer.millis());
+  }
+  {
+    SaOptions options;
+    options.seed = seed;
+    Timer timer;
+    const BaselineResult r = simulated_annealing(inst.hypergraph, options);
+    std::printf("Simulated annealing: cut %4u (%.0f ms)\n",
+                r.metrics.cut_edges, timer.millis());
+  }
+
+  std::printf(
+      "\nWhy: the intersection graph of a sparse planted instance has a"
+      "\nlong diameter across the hidden cut, so the random-longest-path"
+      "\nBFS almost always straddles it and the boundary completion only"
+      "\nhas the planted nets left to lose. Local search from a random"
+      "\nbisection must fix Theta(n) misplaced modules through zero-gain"
+      "\nplateaus instead.\n");
+  return 0;
+}

@@ -1,0 +1,274 @@
+/// fhp-partition — command-line netlist bipartitioner.
+///
+/// Reads a hypergraph (hMETIS `.hgr` or named `signal: modules` netlist),
+/// partitions it with Algorithm I or one of the baselines, prints quality
+/// metrics, and optionally writes a partition file (one 0/1 per module).
+///
+/// Usage:
+///   netlist_tool [options] <input>
+///     --format hmetis|netlist     input format        (default hmetis)
+///     --algorithm alg1|fm|kl|sa|random                (default alg1)
+///     --starts N                  Alg I start budget  (default 50)
+///     --threshold K               ignore nets with > K pins; 0 = keep all
+///                                                     (default 10)
+///     --completion greedy|weighted|exact              (default greedy)
+///     --objective cut|quotient                        (default cut)
+///     --seed S                    RNG seed            (default 1)
+///     --output FILE               write partition file
+///     --refine                    FM-refine the result
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "baselines/flow.hpp"
+#include "baselines/fm.hpp"
+#include "baselines/kl.hpp"
+#include "baselines/multilevel.hpp"
+#include "baselines/random_cut.hpp"
+#include "baselines/sa.hpp"
+#include "baselines/spectral.hpp"
+#include "core/algorithm1.hpp"
+#include "core/recursive.hpp"
+#include "hypergraph/bookshelf.hpp"
+#include "hypergraph/io.hpp"
+#include "hypergraph/stats.hpp"
+#include "partition/report.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fhp;
+
+struct CliOptions {
+  std::string input;
+  std::string format = "hmetis";
+  std::string algorithm = "alg1";
+  std::string completion = "greedy";
+  std::string objective = "cut";
+  std::string output;
+  int starts = 50;
+  std::uint32_t kway = 2;
+  std::uint32_t threshold = 10;
+  std::uint64_t seed = 1;
+  bool refine = false;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n(run with --help for usage)\n",
+               message.c_str());
+  std::exit(2);
+}
+
+void print_usage() {
+  std::printf(
+      "usage: netlist_tool [options] <input>\n"
+      "  --format hmetis|netlist|bookshelf   (default hmetis; bookshelf\n"
+      "                            takes the .nodes file, .nets beside it)\n"
+      "  --algorithm alg1|fm|kl|sa|flow|multilevel|spectral|random\n"
+      "  --starts N                Alg I multi-start budget (default 50)\n"
+      "  --kway N                  recursive N-way partition (default 2;\n"
+      "                            alg1 engine only, one part id per line)\n"
+      "  --threshold K             ignore nets with > K pins, 0 keeps all\n"
+      "  --completion greedy|weighted|exact (default greedy)\n"
+      "  --objective cut|quotient  start-selection objective\n"
+      "  --seed S                  RNG seed (default 1)\n"
+      "  --output FILE             write the partition (one 0/1 per line)\n"
+      "  --refine                  FM-refine the chosen partition\n"
+      "  --verbose                 print the full cut analysis\n");
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (arg == "--format") {
+      options.format = value();
+    } else if (arg == "--algorithm") {
+      options.algorithm = value();
+    } else if (arg == "--completion") {
+      options.completion = value();
+    } else if (arg == "--objective") {
+      options.objective = value();
+    } else if (arg == "--output") {
+      options.output = value();
+    } else if (arg == "--starts") {
+      options.starts = std::atoi(value().c_str());
+    } else if (arg == "--kway") {
+      options.kway = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (arg == "--threshold") {
+      options.threshold = static_cast<std::uint32_t>(
+          std::atoi(value().c_str()));
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(
+          std::atoll(value().c_str()));
+    } else if (arg == "--refine") {
+      options.refine = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown option " + arg);
+    } else if (options.input.empty()) {
+      options.input = arg;
+    } else {
+      usage_error("multiple inputs given");
+    }
+  }
+  if (options.input.empty()) usage_error("no input file");
+  return options;
+}
+
+std::vector<std::uint8_t> run(const CliOptions& cli, const Hypergraph& h) {
+  if (cli.algorithm == "alg1") {
+    Algorithm1Options options;
+    options.num_starts = cli.starts;
+    options.large_edge_threshold = cli.threshold;
+    options.seed = cli.seed;
+    if (cli.completion == "weighted") {
+      options.completion = CompletionStrategy::kWeightedGreedy;
+    } else if (cli.completion == "exact") {
+      options.completion = CompletionStrategy::kExact;
+    } else if (cli.completion != "greedy") {
+      usage_error("unknown completion " + cli.completion);
+    }
+    if (cli.objective == "quotient") {
+      options.objective = Objective::kQuotient;
+    } else if (cli.objective != "cut") {
+      usage_error("unknown objective " + cli.objective);
+    }
+    return algorithm1(h, options).sides;
+  }
+  if (cli.algorithm == "fm") {
+    FmOptions options;
+    options.seed = cli.seed;
+    return fiduccia_mattheyses(h, options).sides;
+  }
+  if (cli.algorithm == "kl") {
+    KlOptions options;
+    options.seed = cli.seed;
+    return kernighan_lin(h, options).sides;
+  }
+  if (cli.algorithm == "sa") {
+    SaOptions options;
+    options.seed = cli.seed;
+    return simulated_annealing(h, options).sides;
+  }
+  if (cli.algorithm == "random") {
+    return random_bisection(h, cli.seed).sides;
+  }
+  if (cli.algorithm == "flow") {
+    FlowOptions options;
+    options.seed = cli.seed;
+    return flow_bipartition(h, options).sides;
+  }
+  if (cli.algorithm == "multilevel") {
+    MultilevelOptions options;
+    options.seed = cli.seed;
+    return multilevel_bipartition(h, options).sides;
+  }
+  if (cli.algorithm == "spectral") {
+    SpectralOptions options;
+    options.seed = cli.seed;
+    return spectral_bipartition(h, options).sides;
+  }
+  usage_error("unknown algorithm " + cli.algorithm);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse(argc, argv);
+  try {
+    Hypergraph h;
+    if (cli.format == "hmetis") {
+      h = read_hmetis_file(cli.input);
+    } else if (cli.format == "netlist") {
+      h = read_netlist_file(cli.input).hypergraph;
+    } else if (cli.format == "bookshelf") {
+      // Input names the .nodes file; the .nets file sits beside it.
+      std::string nets_path = cli.input;
+      const std::size_t ext = nets_path.rfind(".nodes");
+      if (ext != std::string::npos) {
+        nets_path.replace(ext, 6, ".nets");
+      } else {
+        nets_path += ".nets";
+      }
+      h = read_bookshelf_files(cli.input, nets_path).netlist.hypergraph;
+    } else {
+      usage_error("unknown format " + cli.format);
+    }
+    std::printf("%s", to_string(compute_stats(h)).c_str());
+
+    if (cli.kway > 2) {
+      // Recursive k-way mode (Algorithm I engine).
+      Algorithm1Options a1;
+      a1.num_starts = cli.starts;
+      a1.large_edge_threshold = cli.threshold;
+      a1.seed = cli.seed;
+      RecursiveOptions recursive;
+      recursive.algorithm1 = a1;
+      recursive.rebalance = true;
+      Timer timer;
+      const KWayResult r = recursive_partition(h, cli.kway, recursive);
+      std::printf("k-way partition: %u parts, %u spanning nets, part "
+                  "weights %lld..%lld\n",
+                  cli.kway, r.cut_edges,
+                  static_cast<long long>(r.min_part_weight),
+                  static_cast<long long>(r.max_part_weight));
+      std::printf("runtime: %.3f s\n", timer.seconds());
+      if (!cli.output.empty()) {
+        std::ofstream out(cli.output);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       cli.output.c_str());
+          return 1;
+        }
+        for (std::uint32_t part : r.part) out << part << '\n';
+        std::printf("part ids written to %s\n", cli.output.c_str());
+      }
+      return 0;
+    }
+
+    Timer timer;
+    std::vector<std::uint8_t> sides = run(cli, h);
+    if (cli.refine) {
+      FmOptions fm;
+      fm.seed = cli.seed;
+      fm.initial = sides;
+      sides = fiduccia_mattheyses(h, fm).sides;
+    }
+    const double seconds = timer.seconds();
+
+    const Bipartition partition(h, sides);
+    if (cli.verbose) {
+      std::printf("%s", to_string(analyze(partition)).c_str());
+    } else {
+      std::printf("partition: %s\n",
+                  to_string(compute_metrics(partition)).c_str());
+    }
+    std::printf("runtime: %.3f s\n", seconds);
+
+    if (!cli.output.empty()) {
+      std::ofstream out(cli.output);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", cli.output.c_str());
+        return 1;
+      }
+      write_partition(out, sides);
+      std::printf("partition written to %s\n", cli.output.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

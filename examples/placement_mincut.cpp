@@ -1,0 +1,101 @@
+/// Min-cut placement demo — the application that motivated the paper
+/// (Breuer's min-cut placement, §1): recursively bisect a netlist into a
+/// grid of placement regions with Algorithm I, then report wirelength-
+/// style statistics and draw the region map.
+///
+/// Usage: placement_mincut [modules] [grid] [seed]   (grid must be 2/4/8)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/recursive.hpp"
+#include "gen/circuit.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fhp;
+
+/// Half-perimeter-like span: number of distinct grid columns + rows a
+/// net touches (1x1 net = span 2 = fully local).
+double average_span(const Hypergraph& h, const std::vector<std::uint32_t>& part,
+                    std::uint32_t grid) {
+  double total = 0;
+  EdgeId counted = 0;
+  std::vector<std::uint8_t> col_used(grid);
+  std::vector<std::uint8_t> row_used(grid);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    if (h.edge_size(e) < 2) continue;
+    std::fill(col_used.begin(), col_used.end(), 0);
+    std::fill(row_used.begin(), row_used.end(), 0);
+    for (VertexId v : h.pins(e)) {
+      col_used[part[v] % grid] = 1;
+      row_used[part[v] / grid] = 1;
+    }
+    int span = 0;
+    for (std::uint32_t i = 0; i < grid; ++i) span += col_used[i] + row_used[i];
+    total += span;
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fhp;
+
+  const VertexId modules =
+      argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 800;
+  const std::uint32_t grid =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 3;
+  if (grid != 2 && grid != 4 && grid != 8) {
+    std::fprintf(stderr, "grid must be 2, 4 or 8\n");
+    return 2;
+  }
+  const std::uint32_t parts = grid * grid;
+
+  const Hypergraph h = generate_circuit(
+      table2_params(modules, static_cast<EdgeId>(modules * 7 / 4),
+                    Technology::kStandardCell),
+      seed);
+  std::printf("placing %u modules / %u nets onto a %ux%u grid (%u regions)\n",
+              h.num_vertices(), h.num_edges(), grid, grid, parts);
+
+  RecursiveOptions options;
+  options.algorithm1.seed = seed;
+  options.rebalance = true;  // placement wants even region occupancy
+  options.balance_tolerance = 0.08;
+  Timer timer;
+  const KWayResult result = recursive_partition(h, parts, options);
+  std::printf("recursive min-cut placement finished in %.0f ms\n\n",
+              timer.millis());
+
+  std::printf("region occupancy (modules):\n");
+  std::vector<VertexId> counts(parts, 0);
+  for (std::uint32_t part : result.part) ++counts[part];
+  for (std::uint32_t r = 0; r < grid; ++r) {
+    std::printf("  ");
+    for (std::uint32_t c = 0; c < grid; ++c) {
+      std::printf("%5u", counts[r * grid + c]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nnets spanning multiple regions: %u of %u (%.1f%%)\n",
+              result.cut_edges, h.num_edges(),
+              100.0 * static_cast<double>(result.cut_edges) /
+                  static_cast<double>(h.num_edges()));
+  std::printf("average net span (cols+rows touched): %.2f (min 2.00)\n",
+              average_span(h, result.part, grid));
+  std::printf("region weight min/max: %lld / %lld\n",
+              static_cast<long long>(result.min_part_weight),
+              static_cast<long long>(result.max_part_weight));
+  std::printf(
+      "\nEach level of the recursion is one Algorithm I bipartition —"
+      "\nthe min-cut placement loop Breuer proposed, with the paper's"
+      "\nO(n^2) heuristic replacing Kernighan-Lin at every node.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "baselines/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "partition/partition.hpp"
+
+namespace fhp {
+
+namespace {
+
+/// Depth-first branch and bound with incremental per-net pin counts.
+class ExactSolver {
+ public:
+  ExactSolver(const Hypergraph& h, const ExactOptions& options)
+      : h_(h), options_(options) {
+    // Branch on high-degree modules first: their assignment decides many
+    // nets early, making the cut lower bound bite sooner.
+    order_.resize(h.num_vertices());
+    std::iota(order_.begin(), order_.end(), 0U);
+    std::sort(order_.begin(), order_.end(), [&](VertexId a, VertexId b) {
+      const auto da = h.degree(a);
+      const auto db = h.degree(b);
+      return da != db ? da > db : a < b;
+    });
+    pins_on_side_[0].assign(h.num_edges(), 0);
+    pins_on_side_[1].assign(h.num_edges(), 0);
+    sides_.assign(h.num_vertices(), 0);
+    best_sides_.assign(h.num_vertices(), 0);
+  }
+
+  BaselineResult solve() {
+    // Symmetry breaking: the first branching module is fixed to side 0.
+    assign(order_[0], 0);
+    dfs(1);
+    unassign(order_[0], 0);
+    FHP_ASSERT(found_, "every hypergraph with >= 2 modules has a proper cut");
+    BaselineResult result;
+    result.sides = best_sides_;
+    result.metrics = compute_metrics(Bipartition(h_, best_sides_));
+    result.iterations = static_cast<long>(
+        std::min<std::uint64_t>(nodes_, std::numeric_limits<long>::max()));
+    return result;
+  }
+
+ private:
+  void assign(VertexId v, std::uint8_t side) {
+    sides_[v] = side;
+    ++counts_[side];
+    for (EdgeId e : h_.nets_of(v)) {
+      if (++pins_on_side_[side][e] == 1 &&
+          pins_on_side_[1 - side][e] > 0) {
+        cut_ += h_.edge_weight(e);
+      }
+    }
+  }
+
+  void unassign(VertexId v, std::uint8_t side) {
+    for (EdgeId e : h_.nets_of(v)) {
+      if (pins_on_side_[side][e]-- == 1 && pins_on_side_[1 - side][e] > 0) {
+        cut_ -= h_.edge_weight(e);
+      }
+    }
+    --counts_[side];
+  }
+
+  /// True iff balance/properness can still be reached with `remaining`
+  /// unassigned modules.
+  [[nodiscard]] bool feasible(VertexId remaining) const {
+    if (counts_[1] == 0 && remaining == 0) return false;  // improper
+    if (options_.max_cardinality_imbalance >= 0) {
+      const auto diff = static_cast<std::int64_t>(
+          counts_[0] > counts_[1] ? counts_[0] - counts_[1]
+                                  : counts_[1] - counts_[0]);
+      if (diff - static_cast<std::int64_t>(remaining) >
+          options_.max_cardinality_imbalance) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void dfs(VertexId depth) {
+    FHP_REQUIRE(++nodes_ <= options_.node_limit,
+                "exact solver exceeded its node budget");
+    if (found_ && cut_ >= best_cut_) return;  // bound
+    const auto remaining = static_cast<VertexId>(h_.num_vertices() - depth);
+    if (!feasible(remaining)) return;
+    if (depth == h_.num_vertices()) {
+      if (counts_[1] == 0) return;
+      if (!found_ || cut_ < best_cut_) {
+        found_ = true;
+        best_cut_ = cut_;
+        best_sides_ = sides_;
+      }
+      return;
+    }
+    const VertexId v = order_[depth];
+    for (std::uint8_t side : {std::uint8_t{0}, std::uint8_t{1}}) {
+      assign(v, side);
+      dfs(depth + 1);
+      unassign(v, side);
+    }
+  }
+
+  const Hypergraph& h_;
+  const ExactOptions& options_;
+  std::vector<VertexId> order_;
+  std::vector<std::uint32_t> pins_on_side_[2];
+  std::vector<std::uint8_t> sides_;
+  std::vector<std::uint8_t> best_sides_;
+  VertexId counts_[2] = {0, 0};
+  Weight cut_ = 0;
+  Weight best_cut_ = 0;
+  bool found_ = false;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+BaselineResult exact_bipartition(const Hypergraph& h,
+                                 const ExactOptions& options) {
+  FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
+  FHP_REQUIRE(h.num_vertices() <= 63,
+              "exact solver is exponential; limit is 63 modules");
+  if (options.max_cardinality_imbalance >= 0) {
+    FHP_REQUIRE(
+        options.max_cardinality_imbalance >= h.num_vertices() % 2,
+        "imbalance bound unreachable for this module count");
+  }
+  ExactSolver solver(h, options);
+  return solver.solve();
+}
+
+}  // namespace fhp

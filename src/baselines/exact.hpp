@@ -1,0 +1,33 @@
+/// \file exact.hpp
+/// Exact minimum-cut bipartitioning by branch and bound.
+///
+/// Hypergraph min-cut bisection is NP-complete (§1, Garey–Johnson), so
+/// this is exponential — but with incremental cut counting, degree-order
+/// branching and cut/balance pruning it comfortably handles the 20-30
+/// module instances used to certify the heuristics' optimality claims in
+/// tests and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/random_cut.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Tuning knobs for the exact solver.
+struct ExactOptions {
+  /// Maximum allowed |count_L - count_R|; -1 = any proper cut.
+  std::int64_t max_cardinality_imbalance = -1;
+  /// Search-node budget; the solver throws PreconditionError if exceeded
+  /// (so a silent wrong "optimum" can never be reported).
+  std::uint64_t node_limit = 200'000'000;
+};
+
+/// Finds a minimum weighted-cut proper bipartition of \p h.
+/// Requires 2 <= num_vertices <= 63 (and practically <= ~32).
+/// `iterations` reports search nodes expanded.
+[[nodiscard]] BaselineResult exact_bipartition(const Hypergraph& h,
+                                               const ExactOptions& options = {});
+
+}  // namespace fhp

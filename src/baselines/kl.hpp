@@ -1,0 +1,36 @@
+/// \file kl.hpp
+/// Kernighan–Lin style pair-swap bipartitioning ("MinCut-KL" in the
+/// paper's Table 2), with the Schweikert–Kernighan net model: gains are
+/// computed on hyperedges directly rather than on a clique expansion.
+///
+/// Each pass tentatively swaps module pairs — the highest-gain unlocked
+/// module on each side — locking both, and finally rolls back to the best
+/// prefix of swaps. Cardinality balance is preserved exactly by
+/// construction (every step moves one module each way), which matches the
+/// bisection variant Kernighan–Lin define. Passes repeat until no
+/// improvement, the classic O(n² log n)-per-pass regime the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/random_cut.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Tuning knobs for the KL baseline.
+struct KlOptions {
+  int max_passes = 16;  ///< stop after this many passes regardless
+  std::uint64_t seed = 1;
+  /// Optional starting partition (defaults to a random bisection).
+  std::optional<std::vector<std::uint8_t>> initial;
+};
+
+/// Runs pair-swap Kernighan–Lin on \p h. Requires >= 2 modules.
+/// `iterations` counts completed passes.
+[[nodiscard]] BaselineResult kernighan_lin(const Hypergraph& h,
+                                           const KlOptions& options = {});
+
+}  // namespace fhp

@@ -1,0 +1,147 @@
+#include "baselines/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/fm.hpp"
+#include "hypergraph/contract.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fhp {
+
+namespace {
+
+/// One heavy-edge-matching coarsening step. Vertices are visited in
+/// random order; each unmatched vertex merges with the unmatched neighbor
+/// of highest connectivity rating sum(w(e) / (|e|-1)) subject to a
+/// cluster-weight cap. Returns the cluster map and cluster count.
+std::pair<std::vector<VertexId>, VertexId> heavy_edge_matching(
+    const Hypergraph& h, const MultilevelOptions& options, Rng& rng) {
+  const VertexId n = h.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  rng.shuffle(order);
+
+  Weight max_vertex = 1;
+  for (VertexId v = 0; v < n; ++v) {
+    max_vertex = std::max(max_vertex, h.vertex_weight(v));
+  }
+  const Weight cluster_cap =
+      std::max(max_vertex, h.total_vertex_weight() / 32 + 1);
+
+  std::vector<VertexId> partner(n, kInvalidVertex);
+  std::vector<double> rating(n, 0.0);
+  std::vector<VertexId> touched;
+  for (VertexId v : order) {
+    if (partner[v] != kInvalidVertex) continue;
+    touched.clear();
+    for (EdgeId e : h.nets_of(v)) {
+      const std::uint32_t size = h.edge_size(e);
+      if (size < 2) continue;
+      if (options.rating_net_cap > 0 && size > options.rating_net_cap) {
+        continue;
+      }
+      const double score = static_cast<double>(h.edge_weight(e)) /
+                           static_cast<double>(size - 1);
+      for (VertexId u : h.pins(e)) {
+        if (u == v || partner[u] != kInvalidVertex) continue;
+        if (h.vertex_weight(u) + h.vertex_weight(v) > cluster_cap) continue;
+        if (rating[u] == 0.0) touched.push_back(u);
+        rating[u] += score;
+      }
+    }
+    VertexId best = kInvalidVertex;
+    double best_rating = 0.0;
+    for (VertexId u : touched) {
+      if (rating[u] > best_rating ||
+          (rating[u] == best_rating && best != kInvalidVertex && u < best)) {
+        best = u;
+        best_rating = rating[u];
+      }
+      rating[u] = 0.0;
+    }
+    if (best != kInvalidVertex) {
+      partner[v] = best;
+      partner[best] = v;
+    }
+  }
+
+  std::vector<VertexId> cluster(n, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (cluster[v] != kInvalidVertex) continue;
+    cluster[v] = next;
+    if (partner[v] != kInvalidVertex) cluster[partner[v]] = next;
+    ++next;
+  }
+  return {std::move(cluster), next};
+}
+
+}  // namespace
+
+BaselineResult multilevel_bipartition(const Hypergraph& h,
+                                      const MultilevelOptions& options) {
+  FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
+  FHP_REQUIRE(options.coarsest_size >= 2, "coarsest size must be >= 2");
+  FHP_REQUIRE(options.initial_attempts >= 1, "need at least one attempt");
+  Rng rng(options.seed);
+
+  // ---- Coarsening phase: build the hierarchy.
+  std::vector<ContractionResult> levels;
+  // Reserve the maximum possible depth: `current` points into the vector,
+  // so it must never reallocate.
+  levels.reserve(65);
+  const Hypergraph* current = &h;
+  while (current->num_vertices() > options.coarsest_size &&
+         levels.size() + 1 < levels.capacity()) {
+    auto [cluster, count] = heavy_edge_matching(*current, options, rng);
+    if (static_cast<double>(count) >
+        options.min_shrink * static_cast<double>(current->num_vertices())) {
+      break;  // matching stalled (e.g. star-shaped netlists)
+    }
+    levels.push_back(contract(*current, std::move(cluster), count));
+    current = &levels.back().hypergraph;
+  }
+
+  // ---- Initial partition at the coarsest level.
+  const Hypergraph& coarsest = *current;
+  std::vector<std::uint8_t> sides;
+  {
+    Weight best_cut = 0;
+    Weight best_imbalance = 0;
+    for (int attempt = 0; attempt < options.initial_attempts; ++attempt) {
+      FmOptions fm;
+      fm.seed = rng();
+      fm.max_weight_imbalance = options.max_weight_imbalance;
+      const BaselineResult r = fiduccia_mattheyses(coarsest, fm);
+      if (sides.empty() || r.metrics.cut_weight < best_cut ||
+          (r.metrics.cut_weight == best_cut &&
+           r.metrics.weight_imbalance < best_imbalance)) {
+        sides = r.sides;
+        best_cut = r.metrics.cut_weight;
+        best_imbalance = r.metrics.weight_imbalance;
+      }
+    }
+  }
+
+  // ---- Uncoarsening phase: project and refine level by level.
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    sides = project_sides(it->cluster, sides);
+    const Hypergraph& fine =
+        (it + 1 == levels.rend()) ? h : (it + 1)->hypergraph;
+    FmOptions fm;
+    fm.seed = rng();
+    fm.initial = sides;
+    fm.max_passes = options.refine_passes;
+    fm.max_weight_imbalance = options.max_weight_imbalance;
+    sides = fiduccia_mattheyses(fine, fm).sides;
+  }
+  BaselineResult result;
+  result.sides = std::move(sides);
+  result.metrics = compute_metrics(Bipartition(h, result.sides));
+  result.iterations = static_cast<long>(levels.size()) + 1;
+  return result;
+}
+
+}  // namespace fhp

@@ -1,0 +1,42 @@
+/// \file multilevel.hpp
+/// Mini-multilevel hypergraph bipartitioner — the "future work" successor
+/// family to the paper's single-level heuristic (heavy-edge coarsening →
+/// initial partition at the coarsest level → uncoarsen with FM
+/// refinement, the V-cycle popularized by hMETIS).
+///
+/// Included as a forward-looking comparison point: `bench_table2` shows
+/// where the 1989 heuristic stands against its successors, and the
+/// shootout example races it against everything else.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/random_cut.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Tuning knobs for the multilevel partitioner.
+struct MultilevelOptions {
+  /// Stop coarsening when at most this many vertices remain.
+  VertexId coarsest_size = 60;
+  /// Stop coarsening when one level shrinks by less than this factor.
+  double min_shrink = 0.9;
+  /// Nets larger than this are ignored while *rating* merges (they carry
+  /// no locality signal); 0 disables the cap.
+  std::uint32_t rating_net_cap = 16;
+  /// Random initial-partition attempts at the coarsest level.
+  int initial_attempts = 8;
+  /// FM passes per uncoarsening level.
+  int refine_passes = 8;
+  /// Weight-imbalance tolerance passed to the refinement; 0 = auto.
+  Weight max_weight_imbalance = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Runs the multilevel V-cycle on \p h. Requires >= 2 modules.
+/// `iterations` reports the number of levels in the hierarchy.
+[[nodiscard]] BaselineResult multilevel_bipartition(
+    const Hypergraph& h, const MultilevelOptions& options = {});
+
+}  // namespace fhp

@@ -1,0 +1,41 @@
+#include "baselines/random_cut.hpp"
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace fhp {
+
+BaselineResult random_bisection(const Hypergraph& h, std::uint64_t seed) {
+  FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
+  Rng rng(seed);
+  std::vector<VertexId> order(h.num_vertices());
+  std::iota(order.begin(), order.end(), 0U);
+  rng.shuffle(order);
+
+  BaselineResult result;
+  result.sides.assign(h.num_vertices(), 0);
+  for (std::size_t i = order.size() / 2; i < order.size(); ++i) {
+    result.sides[order[i]] = 1;
+  }
+  result.metrics = compute_metrics(Bipartition(h, result.sides));
+  result.iterations = 1;
+  return result;
+}
+
+BaselineResult best_random_bisection(const Hypergraph& h, int tries,
+                                     std::uint64_t seed) {
+  FHP_REQUIRE(tries >= 1, "need at least one try");
+  Rng rng(seed);
+  BaselineResult best;
+  for (int i = 0; i < tries; ++i) {
+    BaselineResult candidate = random_bisection(h, rng());
+    if (i == 0 || candidate.metrics.cut_edges < best.metrics.cut_edges) {
+      best = std::move(candidate);
+    }
+  }
+  best.iterations = tries;
+  return best;
+}
+
+}  // namespace fhp

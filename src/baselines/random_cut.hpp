@@ -1,0 +1,32 @@
+/// \file random_cut.hpp
+/// Random balanced bisection — the "even a random cut is within a constant
+/// factor on easy instances" reference point the paper cites from Bollobás
+/// (§1), used to calibrate how hard an instance family really is.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "partition/metrics.hpp"
+
+namespace fhp {
+
+/// Result of a baseline partitioner.
+struct BaselineResult {
+  std::vector<std::uint8_t> sides;
+  PartitionMetrics metrics;
+  long iterations = 0;  ///< algorithm-specific effort counter
+};
+
+/// Uniformly random bisection: a random half of the modules (by count)
+/// goes left. Requires >= 2 modules.
+[[nodiscard]] BaselineResult random_bisection(const Hypergraph& h,
+                                              std::uint64_t seed);
+
+/// Best of \p tries random bisections by cutsize.
+[[nodiscard]] BaselineResult best_random_bisection(const Hypergraph& h,
+                                                   int tries,
+                                                   std::uint64_t seed);
+
+}  // namespace fhp

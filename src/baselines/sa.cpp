@@ -1,0 +1,113 @@
+#include "baselines/sa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fhp {
+
+namespace {
+
+/// Soft-penalized cost of the current state.
+double state_cost(const Bipartition& p, Weight tolerance, double penalty) {
+  const Weight excess = std::max<Weight>(0, p.weight_imbalance() - tolerance);
+  return static_cast<double>(p.cut_weight()) +
+         penalty * static_cast<double>(excess);
+}
+
+/// Cost delta of flipping \p v, evaluated by flipping and flipping back.
+/// O(degree); the annealer attempts millions of moves, but module degrees
+/// are small in every workload here.
+double move_delta(Bipartition& p, VertexId v, Weight tolerance,
+                  double penalty) {
+  const double before = state_cost(p, tolerance, penalty);
+  p.flip(v);
+  const double after = state_cost(p, tolerance, penalty);
+  p.flip(v);
+  return after - before;
+}
+
+}  // namespace
+
+BaselineResult simulated_annealing(const Hypergraph& h,
+                                   const SaOptions& options) {
+  FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
+  FHP_REQUIRE(options.cooling > 0.0 && options.cooling < 1.0,
+              "cooling factor must be in (0, 1)");
+  Rng rng(options.seed);
+
+  Weight tolerance = options.imbalance_tolerance;
+  if (tolerance <= 0) {
+    Weight max_w = 1;
+    for (VertexId v = 0; v < h.num_vertices(); ++v) {
+      max_w = std::max(max_w, h.vertex_weight(v));
+    }
+    tolerance = 2 * max_w;
+  }
+  const double penalty = options.imbalance_penalty;
+
+  Bipartition p(h, random_bisection(h, rng()).sides);
+
+  // Calibrate T0 so that a typical uphill move is accepted with the
+  // requested initial probability.
+  double uphill_sum = 0.0;
+  int uphill_count = 0;
+  for (int i = 0; i < 128; ++i) {
+    const auto v = static_cast<VertexId>(rng.next_below(h.num_vertices()));
+    const double delta = move_delta(p, v, tolerance, penalty);
+    if (delta > 0) {
+      uphill_sum += delta;
+      ++uphill_count;
+    }
+  }
+  const double mean_uphill =
+      uphill_count > 0 ? uphill_sum / uphill_count : 1.0;
+  double temperature =
+      -mean_uphill / std::log(std::clamp(options.initial_acceptance, 0.01, 0.99));
+  if (!(temperature > 0.0)) temperature = 1.0;
+
+  const long moves_per_t =
+      options.moves_per_temperature > 0
+          ? options.moves_per_temperature
+          : 8L * static_cast<long>(h.num_vertices());
+
+  BaselineResult best;
+  best.sides = p.sides();
+  best.metrics = compute_metrics(p);
+  double best_cost = state_cost(p, tolerance, penalty);
+  long attempts = 0;
+
+  for (int step = 0; step < options.max_temperatures; ++step) {
+    long accepted = 0;
+    for (long i = 0; i < moves_per_t; ++i) {
+      ++attempts;
+      const auto v = static_cast<VertexId>(rng.next_below(h.num_vertices()));
+      const double delta = move_delta(p, v, tolerance, penalty);
+      if (delta <= 0 ||
+          rng.next_double() < std::exp(-delta / temperature)) {
+        p.flip(v);
+        ++accepted;
+        const double cost = state_cost(p, tolerance, penalty);
+        if (cost < best_cost && p.is_proper()) {
+          best_cost = cost;
+          best.sides = p.sides();
+        }
+      }
+    }
+    temperature *= options.cooling;
+    const double acceptance =
+        static_cast<double>(accepted) / static_cast<double>(moves_per_t);
+    if (step + 1 >= options.min_temperatures &&
+        acceptance < options.freeze_acceptance) {
+      break;
+    }
+  }
+
+  best.metrics = compute_metrics(Bipartition(h, best.sides));
+  best.iterations = attempts;
+  return best;
+}
+
+}  // namespace fhp

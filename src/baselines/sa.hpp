@@ -1,0 +1,49 @@
+/// \file sa.hpp
+/// Simulated-annealing bipartitioning (Kirkpatrick–Gelatt–Vecchi [18]),
+/// the stochastic baseline of the paper's Tables 1 and 2.
+///
+/// State: a side per module. Move: flip one uniformly random module.
+/// Cost: weighted cutsize plus a soft penalty on weight imbalance beyond a
+/// tolerance (the relaxed balance treatment of §1 — Fukunaga-style penalty
+/// terms rather than a hard bisection constraint). Geometric cooling with
+/// an automatically calibrated starting temperature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/random_cut.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Tuning knobs for the simulated-annealing baseline.
+struct SaOptions {
+  std::uint64_t seed = 1;
+  /// Moves attempted per temperature step; 0 = auto (8 * num modules).
+  long moves_per_temperature = 0;
+  /// Geometric cooling factor in (0, 1).
+  double cooling = 0.95;
+  /// Initial acceptance probability used to calibrate T0 from a sample of
+  /// random uphill moves.
+  double initial_acceptance = 0.8;
+  /// Stop when fewer than this fraction of moves are accepted at one
+  /// temperature (after cooling at least min_temperatures times).
+  double freeze_acceptance = 0.01;
+  /// Minimum / maximum number of temperature steps.
+  int min_temperatures = 8;
+  int max_temperatures = 200;
+  /// Allowed weight imbalance before the penalty kicks in; 0 = auto
+  /// (2 * max module weight).
+  Weight imbalance_tolerance = 0;
+  /// Cost per unit of weight imbalance beyond the tolerance.
+  double imbalance_penalty = 1.0;
+};
+
+/// Runs simulated annealing on \p h. Requires >= 2 modules. The returned
+/// partition is the best (lowest-cost proper) state visited;
+/// `iterations` counts attempted moves.
+[[nodiscard]] BaselineResult simulated_annealing(const Hypergraph& h,
+                                                 const SaOptions& options = {});
+
+}  // namespace fhp

@@ -1,0 +1,151 @@
+/// \file algorithm1.hpp
+/// Algorithm I — the paper's O(n²) hypergraph min-cut bipartitioner.
+///
+/// Pipeline per start (paper §2 "The Basic Algorithm"):
+///   1. optionally drop nets larger than a threshold (§3);
+///   2. build the intersection graph G;
+///   3. find a pseudo-diameter pair by random longest BFS path;
+///   4. grow BFS regions from both endpoints to cut G;
+///   5. extract the boundary set/graph and the induced partial bipartition;
+///   6. complete the partition with Complete-Cut (greedy / weighted / exact);
+///   7. map back to a module-side assignment and score on the *original*
+///      hypergraph (filtered large nets still count if they cross).
+///
+/// The multi-start extension (§4 "Extensions": "examined 50 random longest
+/// paths and selected the best result") reuses G across starts. If G is
+/// disconnected (the paper's pathological c = 0 case), the connected
+/// blocks are packed onto two sides directly, yielding a zero cut on the
+/// filtered instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/complete_cut.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+
+namespace fhp {
+
+/// Objective used to pick the best result across starts.
+enum class Objective {
+  kCutsize,   ///< minimize cut nets, tie-break on weight imbalance
+  kQuotient,  ///< minimize cut / (|V_L| * |V_R|) (paper §1, [20])
+};
+
+/// How the initial graph cut of G is generated from the pseudo-diameter
+/// endpoints (paper §2 uses the bidirectional BFS; the level sweep is one
+/// of the §4 "alternative greedy methods" ablations).
+enum class InitialCutStrategy {
+  /// Grow BFS regions from both endpoints until they meet (the paper's
+  /// "BFS from two distant nodes ... to define a cutline").
+  kBidirectionalBfs,
+  /// BFS from one endpoint only; try *every* level-prefix cut and keep
+  /// the best completed result. More thorough, costs a factor of the BFS
+  /// depth per start.
+  kLevelSweep,
+};
+
+/// Tuning knobs of Algorithm I. Defaults reproduce the paper's reported
+/// configuration (50 random longest paths, greedy completion, net-size
+/// threshold 10).
+struct Algorithm1Options {
+  /// Nets with more pins than this are ignored while partitioning (they
+  /// still count in the reported cut). 0 disables the filter. Paper §3:
+  /// "a size threshold as low as k >= 10 [has] very small expected error".
+  std::uint32_t large_edge_threshold = 10;
+  /// Number of random longest-path starts examined; the best completion
+  /// wins. Paper §4 used 50.
+  int num_starts = 50;
+  /// BFS sweeps when hunting for a pseudo-diameter endpoint pair
+  /// (1 = the paper's single "longest BFS path", 2 = double sweep).
+  int bfs_sweeps = 2;
+  /// Boundary completion strategy.
+  CompletionStrategy completion = CompletionStrategy::kGreedy;
+  /// How the initial cut of G is produced per start.
+  InitialCutStrategy initial_cut = InitialCutStrategy::kBidirectionalBfs;
+  /// Selection objective across starts.
+  Objective objective = Objective::kCutsize;
+  /// Assign modules not forced by any net (isolated, or touched only by
+  /// loser nets) to the lighter side. Disable to study the raw heuristic.
+  bool balance_free_vertices = true;
+  /// Also consider the "floating split" candidate — modules on no
+  /// surviving net versus everything else — which cuts zero filtered nets
+  /// but can be arbitrarily unbalanced. Off by default (the published
+  /// Algorithm I never inspects it); turn on when hunting the absolute
+  /// minimum proper cut.
+  bool consider_floating_split = false;
+  /// RNG seed; every run with the same seed and input is identical.
+  std::uint64_t seed = 1;
+};
+
+/// Output of Algorithm I, with diagnostics for the experiment harness.
+struct Algorithm1Result {
+  std::vector<std::uint8_t> sides;  ///< side per module of the input
+  PartitionMetrics metrics;         ///< scored on the original hypergraph
+  // ---- diagnostics (about the best start) ----
+  std::uint32_t pseudo_diameter = 0;   ///< d(s, t) of the chosen pair
+  VertexId boundary_size = 0;          ///< |B|
+  VertexId winner_count = 0;           ///< winners in the completion
+  VertexId loser_count = 0;            ///< losers (upper bound on cut)
+  EdgeId filtered_edges = 0;           ///< nets dropped by the threshold
+  int starts_run = 0;                  ///< starts actually examined
+  bool disconnected_shortcut = false;  ///< took the c = 0 fast path
+};
+
+/// Runs Algorithm I on \p h. Requires at least one vertex.
+[[nodiscard]] Algorithm1Result algorithm1(const Hypergraph& h,
+                                          const Algorithm1Options& options = {});
+
+/// Precomputed state shared across starts; exposed so tests and benches
+/// can run single deterministic starts.
+class Algorithm1Context {
+ public:
+  /// Prepares the filtered hypergraph and its intersection graph.
+  Algorithm1Context(const Hypergraph& h, const Algorithm1Options& options);
+
+  /// The original hypergraph.
+  [[nodiscard]] const Hypergraph& original() const noexcept { return *h_; }
+  /// The filtered hypergraph actually partitioned.
+  [[nodiscard]] const Hypergraph& filtered() const noexcept { return filtered_; }
+  /// Intersection graph of the filtered hypergraph.
+  [[nodiscard]] const Graph& intersection() const noexcept { return g_; }
+  /// Nets dropped by the large-net filter.
+  [[nodiscard]] EdgeId filtered_edge_count() const noexcept {
+    return static_cast<EdgeId>(h_->num_edges() - filtered_.num_edges());
+  }
+  /// True iff the filtered intersection graph is disconnected or empty.
+  [[nodiscard]] bool is_degenerate() const noexcept { return degenerate_; }
+
+  /// Runs one start from G-vertex \p start; returns the completed result.
+  /// Precondition: !is_degenerate() and start < intersection().num_vertices().
+  [[nodiscard]] Algorithm1Result run_single(VertexId start) const;
+
+  /// Handles the degenerate cases (no usable nets, or disconnected G):
+  /// packs connected blocks onto two sides by weight.
+  [[nodiscard]] Algorithm1Result run_degenerate() const;
+
+  /// Candidate that separates modules on no surviving net from the rest
+  /// (cuts no filtered net at all). Returns an improper (rejectable)
+  /// result when there are no floating modules.
+  [[nodiscard]] Algorithm1Result run_floating_split() const;
+
+  /// Steps 3-5 of the pipeline: given a 0/1 side per G-vertex, extract
+  /// the boundary, complete it with the configured strategy, and assemble
+  /// a full module partition. Exposed for experimentation with custom
+  /// initial cuts.
+  [[nodiscard]] Algorithm1Result complete_from_cut(
+      std::vector<std::uint8_t> g_side) const;
+
+ private:
+  const Hypergraph* h_;
+  Algorithm1Options options_;
+  Hypergraph filtered_;
+  Graph g_;
+  bool degenerate_ = false;
+  std::vector<VertexId> g_component_;  ///< component label per G-vertex
+  VertexId g_component_count_ = 0;
+};
+
+}  // namespace fhp

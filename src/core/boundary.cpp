@@ -1,0 +1,49 @@
+#include "core/boundary.hpp"
+
+#include "util/error.hpp"
+
+namespace fhp {
+
+BoundaryStructure extract_boundary(const Graph& g,
+                                   std::vector<std::uint8_t> g_side) {
+  FHP_REQUIRE(g_side.size() == g.num_vertices(),
+              "one side label per G-vertex expected");
+  for (std::uint8_t s : g_side) {
+    FHP_REQUIRE(s == 0 || s == 1, "G-vertex sides must be 0/1");
+  }
+
+  BoundaryStructure b;
+  b.g_side = std::move(g_side);
+  b.is_boundary.assign(g.num_vertices(), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId w : g.neighbors(u)) {
+      if (b.g_side[w] != b.g_side[u]) {
+        b.is_boundary[u] = 1;
+        break;
+      }
+    }
+  }
+
+  b.boundary_index.assign(g.num_vertices(), kInvalidVertex);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (b.is_boundary[u]) {
+      b.boundary_index[u] = static_cast<VertexId>(b.boundary_nodes.size());
+      b.boundary_nodes.push_back(u);
+      b.boundary_side.push_back(b.g_side[u]);
+    }
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(b.boundary_nodes.size()));
+  for (VertexId u : b.boundary_nodes) {
+    for (VertexId w : g.neighbors(u)) {
+      if (!b.is_boundary[w] || b.g_side[w] == b.g_side[u]) continue;
+      if (w > u) {  // emit each cross edge once
+        builder.add_edge(b.boundary_index[u], b.boundary_index[w]);
+      }
+    }
+  }
+  b.boundary_graph = std::move(builder).build();
+  return b;
+}
+
+}  // namespace fhp

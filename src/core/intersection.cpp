@@ -1,0 +1,18 @@
+#include "core/intersection.hpp"
+
+namespace fhp {
+
+Graph intersection_graph(const Hypergraph& h) {
+  GraphBuilder builder(h.num_edges());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    const auto nets = h.nets_of(v);
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      for (std::size_t j = i + 1; j < nets.size(); ++j) {
+        builder.add_edge(nets[i], nets[j]);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace fhp

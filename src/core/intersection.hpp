@@ -1,0 +1,17 @@
+/// \file intersection.hpp
+/// Construction of the intersection graph G dual to a netlist hypergraph H
+/// (paper §2): one G-vertex per net of H, two G-vertices adjacent iff the
+/// nets share a module. G-vertex i corresponds to edge i of H.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Builds the intersection graph of \p h. Cost is O(sum over modules of
+/// degree^2) plus a sort — for bounded module degree (the regime the paper
+/// analyses and the reason for its large-net filter) this is O(pins).
+[[nodiscard]] Graph intersection_graph(const Hypergraph& h);
+
+}  // namespace fhp

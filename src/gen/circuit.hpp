@@ -1,0 +1,69 @@
+/// \file circuit.hpp
+/// Synthetic "industry" netlist generator.
+///
+/// Stands in for the paper's 1989 proprietary test suite (Bd1-3 boards,
+/// IC1-2 chips; Table 1's PCB / standard-cell / gate-array / hybrid
+/// technologies). The generator models the structural properties the
+/// paper's results depend on:
+///
+///  - *net-size mix*: mostly small nets (geometric tail) plus a sprinkle
+///    of large bus/clock nets — the targets of the §3 large-net filter;
+///  - *logical hierarchy*: modules are laid out along a linear hierarchy
+///    order and most nets are local to a window, producing the
+///    larger-than-random intersection-graph diameter the paper observes
+///    ("natural functional partitions within the netlist", §4);
+///  - *module areas*: unit for boards, spread for standard cells (area
+///    roughly proportional to pin count, §4 "Extensions").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Technology families of the paper's Table 1.
+enum class Technology { kPcb, kStandardCell, kGateArray, kHybrid };
+
+/// Parameters of the synthetic circuit model.
+struct CircuitParams {
+  VertexId num_modules = 500;
+  EdgeId num_nets = 800;
+  /// Geometric net-size parameter: P(size = 2 + k) ~ (1-p)^k * p.
+  double size_geometric_p = 0.55;
+  std::uint32_t max_net_size = 12;  ///< cap for regular nets
+  /// Fraction of nets that are global buses/clocks.
+  double bus_fraction = 0.01;
+  std::uint32_t bus_size_min = 16;
+  std::uint32_t bus_size_max = 40;
+  /// Fraction of non-bus nets drawn inside a local window (hierarchy).
+  double locality = 0.85;
+  /// Local window width as a fraction of the module count.
+  double window_fraction = 0.06;
+  /// Module weights: 1 + geometric spread (0 disables, all weight 1).
+  double weight_geometric_p = 0.0;
+};
+
+/// Paper-matched presets. \p scale multiplies module and net counts.
+[[nodiscard]] CircuitParams pcb_params(double scale = 1.0);
+[[nodiscard]] CircuitParams standard_cell_params(double scale = 1.0);
+[[nodiscard]] CircuitParams gate_array_params(double scale = 1.0);
+[[nodiscard]] CircuitParams hybrid_params(double scale = 1.0);
+/// Preset by technology enum.
+[[nodiscard]] CircuitParams params_for(Technology tech, double scale = 1.0);
+/// Display name of a technology.
+[[nodiscard]] std::string technology_name(Technology tech);
+
+/// Parameters matched to the paper's Table 2 instances
+/// (modules, signals): Bd1 (103, 211), Bd3 (242, 502), IC1 (561, 800),
+/// IC2 (2471, 3496).
+[[nodiscard]] CircuitParams table2_params(VertexId modules, EdgeId nets,
+                                          Technology tech);
+
+/// Generates a synthetic netlist. The returned hypergraph has at most
+/// num_nets nets (degenerate draws are dropped).
+[[nodiscard]] Hypergraph generate_circuit(const CircuitParams& params,
+                                          std::uint64_t seed);
+
+}  // namespace fhp

@@ -1,0 +1,61 @@
+#include "gen/grid.hpp"
+
+#include "util/rng.hpp"
+
+namespace fhp {
+
+Hypergraph grid_circuit(const GridParams& params, std::uint64_t seed) {
+  FHP_REQUIRE(params.rows >= 1 && params.cols >= 1, "empty grid");
+  FHP_REQUIRE(params.rows * params.cols >= 2, "need at least two modules");
+  FHP_REQUIRE(params.segment_fraction >= 0.0 && params.segment_fraction <= 1.0,
+              "segment fraction out of range");
+  Rng rng(seed);
+
+  const std::uint32_t rows = params.rows;
+  const std::uint32_t cols = params.cols;
+  auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+
+  HypergraphBuilder builder;
+  builder.add_vertices(rows * cols);
+
+  // Nearest-neighbor adjacency nets.
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c + 1 < cols; ++c) {
+      builder.add_edge({id(r, c), id(r, c + 1)});
+    }
+    if (params.torus && cols > 2) {
+      builder.add_edge({id(r, cols - 1), id(r, 0)});
+    }
+  }
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    for (std::uint32_t r = 0; r + 1 < rows; ++r) {
+      builder.add_edge({id(r, c), id(r + 1, c)});
+    }
+    if (params.torus && rows > 2) {
+      builder.add_edge({id(rows - 1, c), id(0, c)});
+    }
+  }
+
+  // Optional 3-span segment nets (local buses along rows/columns).
+  if (params.segment_fraction > 0.0) {
+    const auto target = static_cast<std::uint32_t>(
+        params.segment_fraction * static_cast<double>(rows * cols));
+    for (std::uint32_t i = 0; i < target; ++i) {
+      const bool horizontal = rng.next_bool(0.5);
+      if (horizontal && cols >= 3) {
+        const auto r = static_cast<std::uint32_t>(rng.next_below(rows));
+        const auto c = static_cast<std::uint32_t>(rng.next_below(cols - 2));
+        builder.add_edge({id(r, c), id(r, c + 1), id(r, c + 2)});
+      } else if (rows >= 3) {
+        const auto r = static_cast<std::uint32_t>(rng.next_below(rows - 2));
+        const auto c = static_cast<std::uint32_t>(rng.next_below(cols));
+        builder.add_edge({id(r, c), id(r + 1, c), id(r + 2, c)});
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace fhp

@@ -1,0 +1,31 @@
+/// \file grid.hpp
+/// Mesh ("sea of gates") netlist generator: modules on a rows x cols grid
+/// with nearest-neighbor connectivity, optional longer row/column segment
+/// nets, and known cut geometry — a vertical bisection of an r x c mesh
+/// cuts about r nets, making these instances good optimality yardsticks.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Parameters of the mesh model.
+struct GridParams {
+  std::uint32_t rows = 16;
+  std::uint32_t cols = 16;
+  /// Fraction of horizontal/vertical *segment* nets (3-in-a-row spans)
+  /// layered on top of the adjacency mesh.
+  double segment_fraction = 0.0;
+  /// Wrap rows and columns into a torus (doubles the minimum cut).
+  bool torus = false;
+};
+
+/// Generates the mesh netlist; module id = row * cols + col, unit
+/// weights. Deterministic except for segment placement, which uses
+/// \p seed.
+[[nodiscard]] Hypergraph grid_circuit(const GridParams& params,
+                                      std::uint64_t seed = 1);
+
+}  // namespace fhp

@@ -1,0 +1,113 @@
+#include "gen/planted.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace fhp {
+
+namespace {
+
+/// Samples up to \p want distinct modules from \p pool whose degree is
+/// below \p cap, appending to \p pins and evicting exhausted pool entries.
+void sample_pins(Rng& rng, std::vector<VertexId>& pool,
+                 std::vector<std::uint32_t>& degree, std::uint32_t cap,
+                 std::uint32_t want, std::vector<std::uint8_t>& in_net,
+                 std::vector<VertexId>& pins) {
+  int misses = 0;
+  std::uint32_t taken = 0;
+  while (taken < want && !pool.empty() && misses < 64) {
+    const std::size_t slot = rng.next_below(pool.size());
+    const VertexId v = pool[slot];
+    if (degree[v] >= cap) {
+      pool[slot] = pool.back();
+      pool.pop_back();
+      continue;
+    }
+    if (in_net[v]) {
+      ++misses;
+      continue;
+    }
+    in_net[v] = 1;
+    pins.push_back(v);
+    ++taken;
+  }
+}
+
+}  // namespace
+
+PlantedInstance planted_instance(const PlantedParams& params,
+                                 std::uint64_t seed) {
+  FHP_REQUIRE(params.num_vertices >= 4, "need at least four modules");
+  FHP_REQUIRE(params.min_edge_size >= 2, "nets need at least two pins");
+  FHP_REQUIRE(params.max_edge_size >= params.min_edge_size,
+              "max net size below min net size");
+  FHP_REQUIRE(params.planted_cut <= params.num_edges,
+              "planted cut larger than the net budget");
+  Rng rng(seed);
+
+  PlantedInstance instance;
+  const VertexId n = params.num_vertices;
+  const VertexId half = n / 2;
+  instance.planted_sides.assign(n, 0);
+  for (VertexId v = half; v < n; ++v) instance.planted_sides[v] = 1;
+
+  HypergraphBuilder builder;
+  builder.add_vertices(n);
+
+  std::vector<std::uint32_t> degree(n, 0);
+  std::vector<std::uint8_t> in_net(n, 0);
+  const std::uint32_t cap = params.max_degree == 0
+                                ? std::numeric_limits<std::uint32_t>::max()
+                                : params.max_degree;
+  std::vector<VertexId> pool[2];
+  for (VertexId v = 0; v < half; ++v) pool[0].push_back(v);
+  for (VertexId v = half; v < n; ++v) pool[1].push_back(v);
+
+  std::vector<VertexId> pins;
+  const EdgeId internal_edges = params.num_edges - params.planted_cut;
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    const bool crossing = e >= internal_edges;
+    const auto size = static_cast<std::uint32_t>(
+        rng.next_in(params.min_edge_size, params.max_edge_size));
+    pins.clear();
+    if (crossing) {
+      // At least one pin per half; the rest is split as evenly as the
+      // sampled size allows.
+      const std::uint32_t left = std::max<std::uint32_t>(1, size / 2);
+      const std::uint32_t right = std::max<std::uint32_t>(1, size - left);
+      sample_pins(rng, pool[0], degree, cap, left, in_net, pins);
+      const auto from_left = static_cast<std::uint32_t>(pins.size());
+      sample_pins(rng, pool[1], degree, cap, right, in_net, pins);
+      const bool spans =
+          from_left > 0 && pins.size() > from_left;
+      if (!spans) {
+        for (VertexId v : pins) in_net[v] = 0;
+        continue;  // capacity exhausted on one half: skip this net
+      }
+    } else {
+      const int side = static_cast<int>(rng.next_below(2));
+      sample_pins(rng, pool[side], degree, cap, size, in_net, pins);
+    }
+    for (VertexId v : pins) in_net[v] = 0;
+    if (pins.size() < params.min_edge_size) continue;
+    for (VertexId v : pins) ++degree[v];
+    builder.add_edge(std::span<const VertexId>(pins));
+  }
+
+  instance.hypergraph = std::move(builder).build();
+  // Count the realized planted cut (some crossing nets may have been
+  // dropped for capacity reasons).
+  for (EdgeId e = 0; e < instance.hypergraph.num_edges(); ++e) {
+    bool left = false;
+    bool right = false;
+    for (VertexId v : instance.hypergraph.pins(e)) {
+      (instance.planted_sides[v] == 0 ? left : right) = true;
+    }
+    if (left && right) ++instance.planted_cut;
+  }
+  return instance;
+}
+
+}  // namespace fhp

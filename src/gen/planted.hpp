@@ -1,0 +1,42 @@
+/// \file planted.hpp
+/// "Difficult" instances with a planted bisection (Bui–Chaudhuri–Leighton–
+/// Sipser model, paper §3-§4): random hypergraphs whose minimum cutsize c
+/// is far below the random-instance expectation, c = o(n^{1-1/d}). These
+/// are the inputs on which the paper proves Algorithm I finds the optimum
+/// while KL/annealing get stuck.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Parameters of the planted-bisection model.
+struct PlantedParams {
+  VertexId num_vertices = 500;  ///< split into two equal halves
+  EdgeId num_edges = 700;       ///< total nets including the planted cut
+  EdgeId planted_cut = 8;       ///< c: nets forced to cross the halves
+  std::uint32_t min_edge_size = 2;
+  std::uint32_t max_edge_size = 4;  ///< r
+  std::uint32_t max_degree = 6;     ///< d; 0 = unbounded
+};
+
+/// A generated difficult instance with ground truth.
+struct PlantedInstance {
+  Hypergraph hypergraph;
+  std::vector<std::uint8_t> planted_sides;  ///< the hidden bisection
+  EdgeId planted_cut = 0;  ///< nets crossing the planted bisection
+};
+
+/// Generates an instance: modules are split into two fixed halves;
+/// `num_edges - planted_cut` nets are drawn entirely inside a uniformly
+/// chosen half, and `planted_cut` nets get pins from both halves. With c
+/// well below the random expectation Θ(edges), the planted bisection is
+/// the unique minimum cut with overwhelming probability. planted_cut = 0
+/// yields the paper's pathological disconnected case.
+[[nodiscard]] PlantedInstance planted_instance(const PlantedParams& params,
+                                               std::uint64_t seed);
+
+}  // namespace fhp

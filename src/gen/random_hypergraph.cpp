@@ -1,0 +1,63 @@
+#include "gen/random_hypergraph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace fhp {
+
+Hypergraph random_hypergraph(const RandomHypergraphParams& params,
+                             std::uint64_t seed) {
+  FHP_REQUIRE(params.num_vertices >= 2, "need at least two modules");
+  FHP_REQUIRE(params.min_edge_size >= 2, "nets need at least two pins");
+  FHP_REQUIRE(params.max_edge_size >= params.min_edge_size,
+              "max net size below min net size");
+  Rng rng(seed);
+
+  HypergraphBuilder builder;
+  builder.add_vertices(params.num_vertices);
+
+  // Pool of modules with remaining degree capacity. We sample from the
+  // pool and lazily evict exhausted entries, giving near-uniform pin
+  // selection among capacity-holders.
+  std::vector<std::uint32_t> degree(params.num_vertices, 0);
+  std::vector<VertexId> pool(params.num_vertices);
+  std::iota(pool.begin(), pool.end(), 0U);
+  const std::uint32_t cap = params.max_degree == 0
+                                ? std::numeric_limits<std::uint32_t>::max()
+                                : params.max_degree;
+
+  std::vector<VertexId> pins;
+  std::vector<std::uint8_t> in_net(params.num_vertices, 0);
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    const auto size = static_cast<std::uint32_t>(
+        rng.next_in(params.min_edge_size, params.max_edge_size));
+    pins.clear();
+    // Rejection-sample distinct pins with capacity; give up on this net
+    // after a bounded number of misses (pool nearly exhausted).
+    int misses = 0;
+    while (pins.size() < size && !pool.empty() && misses < 64) {
+      const std::size_t slot = rng.next_below(pool.size());
+      const VertexId v = pool[slot];
+      if (degree[v] >= cap) {  // exhausted: evict and retry
+        pool[slot] = pool.back();
+        pool.pop_back();
+        continue;
+      }
+      if (in_net[v]) {
+        ++misses;
+        continue;
+      }
+      in_net[v] = 1;
+      pins.push_back(v);
+    }
+    for (VertexId v : pins) in_net[v] = 0;
+    if (pins.size() < params.min_edge_size) continue;
+    for (VertexId v : pins) ++degree[v];
+    builder.add_edge(std::span<const VertexId>(pins));
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace fhp

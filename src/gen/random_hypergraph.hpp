@@ -1,0 +1,30 @@
+/// \file random_hypergraph.hpp
+/// Random hypergraph generator for the class H(n, d, r) the paper's
+/// probabilistic analysis uses (§3): n modules, module degree <= d,
+/// net size <= r, nets otherwise uniform.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Parameters of the H(n, d, r) random model.
+struct RandomHypergraphParams {
+  VertexId num_vertices = 100;  ///< n
+  EdgeId num_edges = 150;       ///< number of nets to attempt
+  std::uint32_t min_edge_size = 2;
+  std::uint32_t max_edge_size = 4;   ///< r
+  std::uint32_t max_degree = 6;      ///< d; 0 = unbounded
+};
+
+/// Generates a random hypergraph. Net sizes are uniform in
+/// [min_edge_size, max_edge_size]; pins are sampled uniformly among
+/// modules whose degree is still below max_degree. Nets that cannot reach
+/// min_edge_size because capacity ran out are dropped, so the result can
+/// have fewer than num_edges nets. Unit weights.
+[[nodiscard]] Hypergraph random_hypergraph(const RandomHypergraphParams& params,
+                                           std::uint64_t seed);
+
+}  // namespace fhp

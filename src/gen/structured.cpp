@@ -1,0 +1,121 @@
+#include "gen/structured.hpp"
+
+#include <vector>
+
+namespace fhp {
+
+Hypergraph ripple_carry_adder(std::uint32_t bits) {
+  FHP_REQUIRE(bits >= 1, "adder needs at least one bit");
+  HypergraphBuilder b;
+  // Per-slice module layout (offsets within the slice):
+  //   0: a pad, 1: b pad, 2: s pad, 3: xor1, 4: xor2, 5: and1, 6: and2,
+  //   7: or (carry out)
+  constexpr std::uint32_t kSlice = 8;
+  const VertexId cin_pad = b.add_vertex();  // global carry-in pad
+  b.add_vertices(bits * kSlice);
+  auto m = [&](std::uint32_t bit, std::uint32_t offset) {
+    return static_cast<VertexId>(1 + bit * kSlice + offset);
+  };
+
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    const VertexId a = m(i, 0);
+    const VertexId bp = m(i, 1);
+    const VertexId s = m(i, 2);
+    const VertexId xor1 = m(i, 3);
+    const VertexId xor2 = m(i, 4);
+    const VertexId and1 = m(i, 5);
+    const VertexId and2 = m(i, 6);
+    const VertexId carry = m(i, 7);
+    const VertexId cin = (i == 0) ? cin_pad : m(i - 1, 7);
+
+    b.add_edge({a, xor1, and1});      // net a_i
+    b.add_edge({bp, xor1, and1});     // net b_i
+    b.add_edge({xor1, xor2, and2});   // p_i = a^b
+    b.add_edge({cin, xor2, and2});    // carry-in fans to sum and carry
+    b.add_edge({xor2, s});            // sum out
+    b.add_edge({and1, carry});        // g_i
+    b.add_edge({and2, carry});        // p_i & cin
+  }
+  return std::move(b).build();
+}
+
+Hypergraph array_multiplier(std::uint32_t n) {
+  FHP_REQUIRE(n >= 2, "multiplier needs n >= 2");
+  HypergraphBuilder b;
+  // Cells first (row-major), then 2n operand pads.
+  b.add_vertices(n * n);
+  auto cell = [n](std::uint32_t r, std::uint32_t c) {
+    return static_cast<VertexId>(r * n + c);
+  };
+  std::vector<VertexId> a_pad(n);
+  std::vector<VertexId> b_pad(n);
+  for (std::uint32_t i = 0; i < n; ++i) a_pad[i] = b.add_vertex();
+  for (std::uint32_t j = 0; j < n; ++j) b_pad[j] = b.add_vertex();
+
+  // Sum/carry forwarding mesh.
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (c + 1 < n) b.add_edge({cell(r, c), cell(r, c + 1)});
+      if (r + 1 < n) b.add_edge({cell(r, c), cell(r + 1, c)});
+    }
+  }
+  // Operand broadcasts: a_i drives row i, b_j drives column j.
+  std::vector<VertexId> pins;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    pins.clear();
+    pins.push_back(a_pad[r]);
+    for (std::uint32_t c = 0; c < n; ++c) pins.push_back(cell(r, c));
+    b.add_edge(std::span<const VertexId>(pins));
+  }
+  for (std::uint32_t c = 0; c < n; ++c) {
+    pins.clear();
+    pins.push_back(b_pad[c]);
+    for (std::uint32_t r = 0; r < n; ++r) pins.push_back(cell(r, c));
+    b.add_edge(std::span<const VertexId>(pins));
+  }
+  return std::move(b).build();
+}
+
+Hypergraph butterfly_network(std::uint32_t log_n, std::uint32_t stages) {
+  FHP_REQUIRE(log_n >= 1, "butterfly needs at least two rows");
+  FHP_REQUIRE(log_n < 20, "butterfly size cap");
+  FHP_REQUIRE(stages >= 1, "butterfly needs at least one stage");
+  const std::uint32_t rows = 1U << log_n;
+  HypergraphBuilder b;
+  b.add_vertices((stages + 1) * rows);
+  auto node = [rows](std::uint32_t stage, std::uint32_t row) {
+    return static_cast<VertexId>(stage * rows + row);
+  };
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    const std::uint32_t stride = 1U << (s % log_n);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      b.add_edge({node(s, r), node(s + 1, r)});
+      const std::uint32_t partner = r ^ stride;
+      if (r < partner) {  // emit each cross pair once
+        b.add_edge({node(s, r), node(s + 1, partner)});
+        b.add_edge({node(s, partner), node(s + 1, r)});
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Hypergraph h_tree(std::uint32_t depth) {
+  FHP_REQUIRE(depth >= 2, "tree needs at least two levels");
+  FHP_REQUIRE(depth < 28, "tree size cap");
+  const VertexId n = (VertexId{1} << depth) - 1;
+  HypergraphBuilder b;
+  b.add_vertices(n);
+  for (VertexId v = 0; 2 * v + 1 < n; ++v) {
+    const VertexId left = 2 * v + 1;
+    const VertexId right = 2 * v + 2;
+    if (right < n) {
+      b.add_edge({v, left, right});
+    } else {
+      b.add_edge({v, left});
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace fhp

@@ -1,0 +1,49 @@
+/// \file structured.hpp
+/// Structured gate-level netlist generators.
+///
+/// The paper evaluates on proprietary industry circuits; these generators
+/// provide the reproducible equivalent — netlists whose topology follows
+/// real datapath/clock structures with *known* cut geometry:
+///
+///  - ripple-carry adder: a 1-D chain of full-adder gate clusters; the
+///    minimum balanced cut severs one carry chain (tiny cut);
+///  - array multiplier: a 2-D cell array with row/column broadcast nets
+///    (the long buses the §3 filter is designed for);
+///  - butterfly (FFT) network: expander-like stage connectivity — large
+///    minimum bisection, the hard regime for any cut heuristic;
+///  - H-tree clock: a binary tree — minimum cut 1 at every level.
+///
+/// All generators are deterministic; modules have unit weight.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Gate-level ripple-carry adder over \p bits bit slices. Each slice is
+/// the classic 5-gate full adder (2 XOR, 2 AND, 1 OR) plus input pads
+/// a_i, b_i and output pad s_i; slices are linked by the carry net.
+/// ~8 modules and ~7 nets per bit.
+[[nodiscard]] Hypergraph ripple_carry_adder(std::uint32_t bits);
+
+/// n x n array multiplier: one cell per partial-product position, nets to
+/// the right and lower neighbor (sum/carry forwarding), plus one
+/// (n+1)-pin broadcast net per operand bit (row net for a_i, column net
+/// for b_j) anchored at a pad. Requires n >= 2.
+[[nodiscard]] Hypergraph array_multiplier(std::uint32_t n);
+
+/// Butterfly network with 2^log_n rows and \p stages stage columns:
+/// module (s, i) connects to (s+1, i) and (s+1, i XOR 2^(s % log_n)).
+/// Requires log_n >= 1 and stages >= 1.
+[[nodiscard]] Hypergraph butterfly_network(std::uint32_t log_n,
+                                           std::uint32_t stages);
+
+/// Complete binary tree of \p depth levels (H-tree clock spine):
+/// 2^depth - 1 modules, one 3-pin net per internal node covering it and
+/// its children (a 2-pin net at depth-1 leaves' parents when the tree is
+/// truncated). Requires depth >= 2.
+[[nodiscard]] Hypergraph h_tree(std::uint32_t depth);
+
+}  // namespace fhp

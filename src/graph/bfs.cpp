@@ -1,0 +1,105 @@
+#include "graph/bfs.hpp"
+
+#include <deque>
+
+namespace fhp {
+
+BfsResult bfs(const Graph& g, VertexId source) {
+  FHP_REQUIRE(source < g.num_vertices(), "BFS source out of range");
+  BfsResult result;
+  result.distance.assign(g.num_vertices(), kUnreachable);
+  result.distance[source] = 0;
+  result.farthest = source;
+  result.depth = 0;
+  result.reached = 1;
+
+  std::vector<VertexId> queue;
+  queue.reserve(g.num_vertices());
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    const std::uint32_t du = result.distance[u];
+    for (VertexId w : g.neighbors(u)) {
+      if (result.distance[w] != kUnreachable) continue;
+      result.distance[w] = du + 1;
+      ++result.reached;
+      if (du + 1 > result.depth) {
+        result.depth = du + 1;
+        result.farthest = w;
+      }
+      queue.push_back(w);
+    }
+  }
+  return result;
+}
+
+DiameterPair longest_path_from(const Graph& g, VertexId start, int sweeps) {
+  FHP_REQUIRE(sweeps >= 1, "need at least one BFS sweep");
+  DiameterPair pair;
+  BfsResult r = bfs(g, start);
+  pair.s = start;
+  pair.t = r.farthest;
+  pair.distance = r.depth;
+  for (int sweep = 1; sweep < sweeps; ++sweep) {
+    r = bfs(g, pair.t);
+    if (r.depth <= pair.distance && sweep > 1) break;  // converged
+    pair.s = pair.t;
+    pair.t = r.farthest;
+    pair.distance = r.depth;
+  }
+  return pair;
+}
+
+DiameterPair random_longest_path(const Graph& g, Rng& rng, int sweeps) {
+  FHP_REQUIRE(g.num_vertices() > 0, "graph is empty");
+  const auto start = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+  return longest_path_from(g, start, sweeps);
+}
+
+BidirectionalCut bidirectional_bfs_cut(const Graph& g, VertexId s, VertexId t) {
+  FHP_REQUIRE(s < g.num_vertices() && t < g.num_vertices(),
+              "seed out of range");
+  FHP_REQUIRE(s != t, "seeds must be distinct");
+  BidirectionalCut cut;
+  cut.side.assign(g.num_vertices(), std::uint8_t{2});
+
+  // Two frontier queues; expand one full level of the smaller region at a
+  // time so that regions stay close in size even when the seeds sit in
+  // unbalanced positions of the graph.
+  std::vector<VertexId> frontier[2];
+  frontier[0].push_back(s);
+  frontier[1].push_back(t);
+  cut.side[s] = 0;
+  cut.side[t] = 1;
+  cut.reached_s = 1;
+  cut.reached_t = 1;
+
+  std::vector<VertexId> next;
+  while (!frontier[0].empty() || !frontier[1].empty()) {
+    int which;
+    if (frontier[0].empty()) {
+      which = 1;
+    } else if (frontier[1].empty()) {
+      which = 0;
+    } else {
+      which = (cut.reached_s <= cut.reached_t) ? 0 : 1;
+    }
+    next.clear();
+    for (VertexId u : frontier[which]) {
+      for (VertexId w : g.neighbors(u)) {
+        if (cut.side[w] != 2) continue;
+        cut.side[w] = static_cast<std::uint8_t>(which);
+        if (which == 0) {
+          ++cut.reached_s;
+        } else {
+          ++cut.reached_t;
+        }
+        next.push_back(w);
+      }
+    }
+    frontier[which].swap(next);
+  }
+  return cut;
+}
+
+}  // namespace fhp

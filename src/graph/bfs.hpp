@@ -1,0 +1,71 @@
+/// \file bfs.hpp
+/// Breadth-first-search toolkit for the intersection graph.
+///
+/// Algorithm I's first two steps are pure BFS machinery (paper §2):
+/// find a pseudo-diameter pair by a random longest BFS path, then grow
+/// regions from both endpoints simultaneously until they meet to define a
+/// graph cut. Everything here is O(V + E) per sweep.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace fhp {
+
+/// Distance label for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffU;
+
+/// Result of a single-source BFS.
+struct BfsResult {
+  std::vector<std::uint32_t> distance;  ///< kUnreachable if not reached
+  VertexId farthest = kInvalidVertex;   ///< a vertex at maximum distance
+  std::uint32_t depth = 0;              ///< eccentricity within the component
+  VertexId reached = 0;                 ///< number of vertices reached
+};
+
+/// Full BFS from \p source. Among vertices at maximum distance, `farthest`
+/// is the one discovered first (deterministic).
+[[nodiscard]] BfsResult bfs(const Graph& g, VertexId source);
+
+/// A pseudo-diameter endpoint pair obtained by BFS sweeps.
+struct DiameterPair {
+  VertexId s = kInvalidVertex;
+  VertexId t = kInvalidVertex;
+  std::uint32_t distance = 0;  ///< d(s, t): a lower bound on the diameter
+};
+
+/// The paper's "random longest BFS path": BFS from a random vertex, take
+/// the farthest vertex v; BFS again from v and take its farthest vertex w.
+/// (v, w) is within O(1) of a diametral pair for bounded-degree random
+/// graphs. \p sweeps >= 1 controls how many alternating refinement sweeps
+/// to run (2 = the classic double sweep).
+[[nodiscard]] DiameterPair random_longest_path(const Graph& g, Rng& rng,
+                                               int sweeps = 2);
+
+/// Like random_longest_path but starting from a given vertex (used by the
+/// multi-start driver to derandomize tests).
+[[nodiscard]] DiameterPair longest_path_from(const Graph& g, VertexId start,
+                                             int sweeps = 2);
+
+/// Result of growing BFS regions from two seeds simultaneously.
+struct BidirectionalCut {
+  /// side[v]: 0 = reached from s first, 1 = reached from t first,
+  /// 2 = unreached (v lies in a different component).
+  std::vector<std::uint8_t> side;
+  VertexId reached_s = 0;  ///< vertices claimed by the s region
+  VertexId reached_t = 0;  ///< vertices claimed by the t region
+};
+
+/// Grows BFS level-by-level from \p s and \p t alternately until every
+/// vertex in their component(s) is claimed; ties (same level reachable from
+/// both) go to the region whose level was expanded first, with the smaller
+/// region expanding first to keep the two sides near-equal in vertex count.
+/// This realizes the paper's "BFS from two distant nodes until the two
+/// expanding sets meet to define a cutline".
+[[nodiscard]] BidirectionalCut bidirectional_bfs_cut(const Graph& g, VertexId s,
+                                                     VertexId t);
+
+}  // namespace fhp

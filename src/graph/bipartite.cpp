@@ -1,0 +1,31 @@
+#include "graph/bipartite.hpp"
+
+namespace fhp {
+
+std::optional<std::vector<std::uint8_t>> two_color(const Graph& g) {
+  constexpr std::uint8_t kUncolored = 2;
+  std::vector<std::uint8_t> color(g.num_vertices(), kUncolored);
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < g.num_vertices(); ++start) {
+    if (color[start] != kUncolored) continue;
+    color[start] = 0;
+    queue.clear();
+    queue.push_back(start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      for (VertexId w : g.neighbors(u)) {
+        if (color[w] == kUncolored) {
+          color[w] = static_cast<std::uint8_t>(1 - color[u]);
+          queue.push_back(w);
+        } else if (color[w] == color[u]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return color;
+}
+
+bool is_bipartite(const Graph& g) { return two_color(g).has_value(); }
+
+}  // namespace fhp

@@ -1,0 +1,23 @@
+/// \file bipartite.hpp
+/// Bipartiteness check / 2-coloring. The boundary graph G' of §2.2 is
+/// bipartite by construction (only cross-cut edges are kept); tests use
+/// this to verify the construction and Complete-Cut relies on it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fhp {
+
+/// Returns a proper 2-coloring (0/1 per vertex, components colored
+/// independently with the lowest-indexed vertex getting color 0) if the
+/// graph is bipartite, std::nullopt otherwise.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> two_color(
+    const Graph& g);
+
+/// True iff the graph contains no odd cycle.
+[[nodiscard]] bool is_bipartite(const Graph& g);
+
+}  // namespace fhp

@@ -1,0 +1,41 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+namespace fhp {
+
+VertexId Components::largest() const {
+  if (size.empty()) return 0;
+  const auto it = std::max_element(size.begin(), size.end());
+  return static_cast<VertexId>(it - size.begin());
+}
+
+Components connected_components(const Graph& g) {
+  Components comps;
+  comps.label.assign(g.num_vertices(), kInvalidVertex);
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < g.num_vertices(); ++start) {
+    if (comps.label[start] != kInvalidVertex) continue;
+    const auto id = static_cast<VertexId>(comps.size.size());
+    comps.size.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    comps.label[start] = id;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      ++comps.size[id];
+      for (VertexId w : g.neighbors(u)) {
+        if (comps.label[w] != kInvalidVertex) continue;
+        comps.label[w] = id;
+        queue.push_back(w);
+      }
+    }
+  }
+  return comps;
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).count() <= 1;
+}
+
+}  // namespace fhp

@@ -1,0 +1,32 @@
+/// \file components.hpp
+/// Connected components. Algorithm I uses them to detect the paper's
+/// "completely pathological" c = 0 case (§4): if the intersection graph is
+/// disconnected, a zero-cut bipartition exists and BFS finds it directly.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
+
+namespace fhp {
+
+/// Connected-component labelling of a graph.
+struct Components {
+  std::vector<VertexId> label;  ///< component id per vertex, 0-based dense
+  std::vector<VertexId> size;   ///< vertices per component
+  /// Number of components.
+  [[nodiscard]] VertexId count() const noexcept {
+    return static_cast<VertexId>(size.size());
+  }
+  /// Id of a largest component (0 when the graph is empty).
+  [[nodiscard]] VertexId largest() const;
+};
+
+/// Computes connected components by repeated BFS; O(V + E).
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True iff the graph has at most one connected component.
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace fhp

@@ -1,0 +1,26 @@
+#include "graph/diameter.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace fhp {
+
+std::uint32_t exact_diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    best = std::max(best, bfs(g, v).depth);
+  }
+  return best;
+}
+
+std::uint32_t estimate_diameter(const Graph& g, Rng& rng, int starts) {
+  FHP_REQUIRE(starts >= 1, "need at least one start");
+  std::uint32_t best = 0;
+  for (int i = 0; i < starts; ++i) {
+    best = std::max(best, random_longest_path(g, rng).distance);
+  }
+  return best;
+}
+
+}  // namespace fhp

@@ -1,0 +1,26 @@
+/// \file diameter.hpp
+/// Exact and estimated graph diameter.
+///
+/// The paper leans on two facts (§3): BFS from a random vertex reaches
+/// depth diam(G) - O(1) with high probability, and random bounded-degree
+/// graphs have diameter Θ(log n). `bench_diameter` verifies both; the
+/// exact computation here is the O(V·E) reference the estimates are
+/// compared against.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fhp {
+
+/// Exact diameter of the largest connected component: max over vertices of
+/// eccentricity, by BFS from every vertex. O(V·(V+E)); fine for the test
+/// and bench sizes it is used at.
+[[nodiscard]] std::uint32_t exact_diameter(const Graph& g);
+
+/// Lower-bound estimate: best distance found over \p starts random
+/// double-sweep BFS runs.
+[[nodiscard]] std::uint32_t estimate_diameter(const Graph& g, Rng& rng,
+                                              int starts = 4);
+
+}  // namespace fhp

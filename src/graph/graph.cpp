@@ -1,0 +1,83 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fhp {
+
+Graph Graph::from_edges(
+    VertexId num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder(num_vertices);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return std::move(builder).build();
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  FHP_REQUIRE(u < num_vertices() && v < num_vertices(), "vertex out of range");
+  const auto ns = neighbors(u);
+  return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+void Graph::validate() const {
+  FHP_ASSERT(offsets_.front() == 0 && offsets_.back() == adjacency_.size(),
+             "offsets must span the adjacency array");
+  FHP_ASSERT(adjacency_.size() % 2 == 0,
+             "undirected adjacency must have even total length");
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto ns = neighbors(v);
+    FHP_ASSERT(std::is_sorted(ns.begin(), ns.end()),
+               "neighbor lists must be sorted");
+    FHP_ASSERT(std::adjacent_find(ns.begin(), ns.end()) == ns.end(),
+               "parallel edges are not allowed");
+    for (VertexId u : ns) {
+      FHP_ASSERT(u < num_vertices(), "neighbor out of range");
+      FHP_ASSERT(u != v, "self-loops are not allowed");
+      const auto back = neighbors(u);
+      FHP_ASSERT(std::binary_search(back.begin(), back.end(), v),
+                 "adjacency must be symmetric");
+    }
+  }
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  FHP_REQUIRE(u < num_vertices_ && v < num_vertices_,
+              "edge endpoint out of range");
+  FHP_REQUIRE(u != v, "self-loops are not allowed");
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() && {
+  // Normalize to (min, max), sort, dedupe.
+  for (auto& [u, v] : edges_) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_vertices_) + 1,
+                                  0);
+  for (const auto& [u, v] : edges_) {
+    ++counts[u + 1];
+    ++counts[v + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  g.offsets_ = counts;
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+  // Insert in two ordered passes so each neighbor list ends up sorted:
+  // first the (u, v) direction in edge order (v ascending per u because the
+  // edge list is sorted), then the reverse direction.
+  for (const auto& [u, v] : edges_) g.adjacency_[cursor[u]++] = v;
+  for (const auto& [u, v] : edges_) g.adjacency_[cursor[v]++] = u;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  return g;
+}
+
+}  // namespace fhp

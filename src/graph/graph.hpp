@@ -1,0 +1,87 @@
+/// \file graph.hpp
+/// Immutable CSR undirected simple graph.
+///
+/// Used for the *intersection graph* G dual to the input netlist (one
+/// vertex per net, adjacency = shared module) and for the bipartite
+/// *boundary graph* G' processed by Complete-Cut.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace fhp {
+
+/// Immutable undirected simple graph in CSR form. Self-loops and parallel
+/// edges are rejected/merged at construction.
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() = default;
+
+  /// Builds a graph over \p num_vertices vertices from an edge list.
+  /// Duplicate edges are merged; self-loops are a precondition violation.
+  [[nodiscard]] static Graph from_edges(
+      VertexId num_vertices,
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  /// Number of vertices.
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return adjacency_.size() / 2;
+  }
+  /// Neighbors of \p v, sorted ascending.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    FHP_DEBUG_ASSERT(v < num_vertices(), "vertex id out of range");
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+  /// Degree of \p v.
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    FHP_DEBUG_ASSERT(v < num_vertices(), "vertex id out of range");
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  /// Largest degree (0 for the empty graph).
+  [[nodiscard]] std::uint32_t max_degree() const noexcept {
+    return max_degree_;
+  }
+  /// True iff u and v are adjacent (binary search, O(log deg)).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Structural self-check; aborts on violation.
+  void validate() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_{0};
+  std::vector<VertexId> adjacency_;
+  std::uint32_t max_degree_ = 0;
+};
+
+/// Incremental edge-list accumulator for Graph.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph over \p num_vertices vertices.
+  explicit GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Adds the undirected edge {u, v}. Self-loops are rejected; duplicates
+  /// are merged at build time.
+  void add_edge(VertexId u, VertexId v);
+
+  /// Number of vertices the graph will have.
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+
+  /// Finalizes into an immutable Graph. The builder is consumed.
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  VertexId num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace fhp

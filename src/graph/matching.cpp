@@ -1,0 +1,150 @@
+#include "graph/matching.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fhp {
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+/// Verifies that `side` is a proper 2-coloring in debug-style checks.
+void check_coloring(const Graph& g, const std::vector<std::uint8_t>& side) {
+  FHP_REQUIRE(side.size() == g.num_vertices(),
+              "one side label per vertex expected");
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    FHP_REQUIRE(side[v] == 0 || side[v] == 1, "side labels must be 0/1");
+    for (VertexId w : g.neighbors(v)) {
+      FHP_REQUIRE(side[w] != side[v],
+                  "side labels are not a proper 2-coloring");
+    }
+  }
+}
+
+class HopcroftKarp {
+ public:
+  HopcroftKarp(const Graph& g, const std::vector<std::uint8_t>& side)
+      : g_(g), side_(side) {
+    match_.assign(g.num_vertices(), kInvalidVertex);
+    layer_.assign(g.num_vertices(), kInf);
+  }
+
+  MatchingResult run() {
+    MatchingResult result;
+    while (bfs_layers()) {
+      for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+        if (side_[v] == 0 && match_[v] == kInvalidVertex) {
+          if (try_augment(v)) ++result.size;
+        }
+      }
+    }
+    result.match = std::move(match_);
+    return result;
+  }
+
+ private:
+  /// Layers free-left vertices at 0 and alternates matched/unmatched edges;
+  /// returns true if some free right vertex is reachable (an augmenting
+  /// path exists).
+  bool bfs_layers() {
+    queue_.clear();
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+      if (side_[v] == 0 && match_[v] == kInvalidVertex) {
+        layer_[v] = 0;
+        queue_.push_back(v);
+      } else {
+        layer_[v] = kInf;
+      }
+    }
+    bool found = false;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const VertexId u = queue_[head];
+      for (VertexId w : g_.neighbors(u)) {
+        // w is on the right; step to its matched partner (or succeed).
+        const VertexId next = match_[w];
+        if (next == kInvalidVertex) {
+          found = true;
+        } else if (layer_[next] == kInf) {
+          layer_[next] = layer_[u] + 1;
+          queue_.push_back(next);
+        }
+      }
+    }
+    return found;
+  }
+
+  /// DFS along the layered structure, flipping matched edges on success.
+  bool try_augment(VertexId u) {
+    for (VertexId w : g_.neighbors(u)) {
+      const VertexId next = match_[w];
+      if (next == kInvalidVertex ||
+          (layer_[next] == layer_[u] + 1 && try_augment(next))) {
+        match_[u] = w;
+        match_[w] = u;
+        return true;
+      }
+    }
+    layer_[u] = kInf;  // dead end: prune for the rest of this phase
+    return false;
+  }
+
+  const Graph& g_;
+  const std::vector<std::uint8_t>& side_;
+  std::vector<VertexId> match_;
+  std::vector<std::uint32_t> layer_;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace
+
+MatchingResult max_bipartite_matching(const Graph& g,
+                                      const std::vector<std::uint8_t>& side) {
+  check_coloring(g, side);
+  return HopcroftKarp(g, side).run();
+}
+
+std::vector<std::uint8_t> minimum_vertex_cover(
+    const Graph& g, const std::vector<std::uint8_t>& side,
+    const MatchingResult& matching) {
+  check_coloring(g, side);
+  FHP_REQUIRE(matching.match.size() == g.num_vertices(),
+              "matching does not cover this graph");
+  // König: Z = vertices reachable from free left vertices by alternating
+  // paths (unmatched edge left->right, matched edge right->left).
+  // Cover = (L \ Z) ∪ (R ∩ Z).
+  std::vector<std::uint8_t> in_z(g.num_vertices(), 0);
+  std::vector<VertexId> queue;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (side[v] == 0 && matching.match[v] == kInvalidVertex) {
+      in_z[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    if (side[u] == 0) {
+      for (VertexId w : g.neighbors(u)) {
+        if (matching.match[u] != w && !in_z[w]) {  // unmatched edge
+          in_z[w] = 1;
+          queue.push_back(w);
+        }
+      }
+    } else {
+      const VertexId partner = matching.match[u];
+      if (partner != kInvalidVertex && !in_z[partner]) {  // matched edge
+        in_z[partner] = 1;
+        queue.push_back(partner);
+      }
+    }
+  }
+  std::vector<std::uint8_t> cover(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const bool covered = (side[v] == 0) ? !in_z[v] : static_cast<bool>(in_z[v]);
+    cover[v] = covered ? 1 : 0;
+  }
+  return cover;
+}
+
+}  // namespace fhp

@@ -1,0 +1,41 @@
+/// \file matching.hpp
+/// Maximum bipartite matching (Hopcroft–Karp) and König minimum vertex
+/// cover.
+///
+/// The paper completes the boundary partition with the greedy Complete-Cut
+/// rule and proves it within 1 of optimal for connected boundary graphs.
+/// Because the boundary graph is bipartite, the *exact* optimum (minimum
+/// number of "loser" nets = minimum vertex cover) is computable in
+/// polynomial time via König's theorem — this module provides that exact
+/// reference, used both as an alternative completion strategy and to
+/// verify the paper's within-1 theorem empirically.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fhp {
+
+/// Result of maximum matching on a bipartite graph.
+struct MatchingResult {
+  /// match[v] = matched partner or kInvalidVertex.
+  std::vector<VertexId> match;
+  /// Number of matched pairs.
+  VertexId size = 0;
+};
+
+/// Hopcroft–Karp maximum matching. \p side must be a proper 2-coloring of
+/// \p g (0/1 per vertex); vertices with side 0 form the left class.
+/// O(E * sqrt(V)).
+[[nodiscard]] MatchingResult max_bipartite_matching(
+    const Graph& g, const std::vector<std::uint8_t>& side);
+
+/// König construction: given a maximum matching, returns a minimum vertex
+/// cover (marker per vertex). |cover| == matching size; the complement is
+/// a maximum independent set.
+[[nodiscard]] std::vector<std::uint8_t> minimum_vertex_cover(
+    const Graph& g, const std::vector<std::uint8_t>& side,
+    const MatchingResult& matching);
+
+}  // namespace fhp

@@ -1,0 +1,97 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+
+namespace fhp {
+
+FlowNetwork::FlowNetwork(std::uint32_t num_nodes)
+    : head_(num_nodes, kNoArc) {}
+
+std::uint32_t FlowNetwork::add_arc(std::uint32_t from, std::uint32_t to,
+                                   Capacity capacity) {
+  FHP_REQUIRE(from < num_nodes() && to < num_nodes(),
+              "arc endpoint out of range");
+  FHP_REQUIRE(capacity >= 0, "arc capacity must be non-negative");
+  FHP_REQUIRE(!solved_, "network already solved");
+  const auto id = static_cast<std::uint32_t>(arcs_.size());
+  arcs_.push_back(Arc{to, head_[from], capacity});
+  head_[from] = id;
+  arcs_.push_back(Arc{from, head_[to], 0});
+  head_[to] = id + 1;
+  return id;
+}
+
+bool FlowNetwork::build_levels(std::uint32_t source, std::uint32_t sink) {
+  level_.assign(num_nodes(), 0xffffffffU);
+  level_[source] = 0;
+  std::vector<std::uint32_t> queue{source};
+  for (std::size_t headpos = 0; headpos < queue.size(); ++headpos) {
+    const std::uint32_t u = queue[headpos];
+    for (std::uint32_t a = head_[u]; a != kNoArc; a = arcs_[a].next) {
+      const Arc& arc = arcs_[a];
+      if (arc.residual > 0 && level_[arc.to] == 0xffffffffU) {
+        level_[arc.to] = level_[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level_[sink] != 0xffffffffU;
+}
+
+FlowNetwork::Capacity FlowNetwork::push(std::uint32_t node,
+                                        std::uint32_t sink, Capacity limit) {
+  if (node == sink) return limit;
+  for (std::uint32_t& a = iter_[node]; a != kNoArc; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.residual <= 0 || level_[arc.to] != level_[node] + 1) continue;
+    const Capacity sent =
+        push(arc.to, sink, std::min(limit, arc.residual));
+    if (sent > 0) {
+      arc.residual -= sent;
+      arcs_[a ^ 1].residual += sent;
+      return sent;
+    }
+  }
+  return 0;
+}
+
+FlowNetwork::Capacity FlowNetwork::max_flow(std::uint32_t source,
+                                            std::uint32_t sink) {
+  FHP_REQUIRE(source < num_nodes() && sink < num_nodes(),
+              "terminal out of range");
+  FHP_REQUIRE(source != sink, "source and sink must differ");
+  FHP_REQUIRE(!solved_, "network already solved");
+  solved_ = true;
+  source_ = source;
+
+  Capacity total = 0;
+  while (build_levels(source, sink)) {
+    iter_ = head_;
+    for (;;) {
+      const Capacity sent = push(source, sink, kInfiniteCapacity);
+      if (sent == 0) break;
+      total += sent;
+    }
+  }
+  return total;
+}
+
+std::vector<std::uint8_t> FlowNetwork::min_cut_side() const {
+  FHP_REQUIRE(solved_, "call max_flow() first");
+  std::vector<std::uint8_t> side(num_nodes(), 0);
+  std::vector<std::uint32_t> queue{source_};
+  side[source_] = 1;
+  for (std::size_t headpos = 0; headpos < queue.size(); ++headpos) {
+    const std::uint32_t u = queue[headpos];
+    for (std::uint32_t a = head_[u]; a != kNoArc; a = arcs_[a].next) {
+      const Arc& arc = arcs_[a];
+      if (arc.residual > 0 && !side[arc.to]) {
+        side[arc.to] = 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace fhp

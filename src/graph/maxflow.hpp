@@ -1,0 +1,71 @@
+/// \file maxflow.hpp
+/// Maximum s-t flow / minimum s-t cut on a directed capacitated network
+/// (Dinic's algorithm).
+///
+/// Substrate for the network-flow bipartitioning family the paper lists
+/// among its competitors (§1: Chopra [7]; Hu–Moerder multiterminal
+/// hypergraph flows [16]). Also reusable on its own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+
+namespace fhp {
+
+/// Directed flow network with residual bookkeeping. Add nodes and arcs,
+/// then call max_flow(); afterwards min_cut_side() exposes the source
+/// side of a minimum s-t cut.
+class FlowNetwork {
+ public:
+  /// Capacity type; kInfiniteCapacity models the "uncuttable" arcs of the
+  /// standard hyperedge gadget.
+  using Capacity = std::int64_t;
+  static constexpr Capacity kInfiniteCapacity =
+      std::int64_t{1} << 60;
+
+  /// Creates a network with \p num_nodes nodes and no arcs.
+  explicit FlowNetwork(std::uint32_t num_nodes);
+
+  /// Number of nodes.
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(head_.size());
+  }
+
+  /// Adds a directed arc from \p from to \p to with capacity \p capacity
+  /// (and a zero-capacity reverse residual arc). Returns the arc id.
+  std::uint32_t add_arc(std::uint32_t from, std::uint32_t to,
+                        Capacity capacity);
+
+  /// Computes the maximum flow from \p source to \p sink; callable once
+  /// per network (capacities are consumed). O(V^2 E) worst case, far
+  /// better on the unit-ish networks used here.
+  Capacity max_flow(std::uint32_t source, std::uint32_t sink);
+
+  /// After max_flow(): marker per node, 1 = reachable from the source in
+  /// the residual network (the source side of a minimum cut).
+  [[nodiscard]] std::vector<std::uint8_t> min_cut_side() const;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t next;  ///< next arc id in the from-node's list
+    Capacity residual;
+  };
+
+  bool build_levels(std::uint32_t source, std::uint32_t sink);
+  Capacity push(std::uint32_t node, std::uint32_t sink, Capacity limit);
+
+  std::vector<std::uint32_t> head_;  ///< first arc id per node
+  std::vector<Arc> arcs_;            ///< arc i and i^1 are partners
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> iter_;
+  std::uint32_t source_ = 0;
+  bool solved_ = false;
+
+  static constexpr std::uint32_t kNoArc = 0xffffffffU;
+};
+
+}  // namespace fhp

@@ -1,0 +1,47 @@
+/// \file bookshelf.hpp
+/// GSRC/UCLA "Bookshelf" netlist I/O (.nodes / .nets pair) — the standard
+/// interchange format of the academic placement community, which makes
+/// this library usable directly on published placement benchmarks.
+///
+/// Supported subset:
+///   .nodes  — `UCLA nodes 1.0` header, `NumNodes : N`,
+///             `NumTerminals : T`, then `name width height [terminal]`
+///             per node. Module weight = max(1, width * height).
+///   .nets   — `UCLA nets 1.0` header, `NumNets : N`, `NumPins : P`,
+///             then per net `NetDegree : k [name]` followed by k pin
+///             lines `nodename [I|O|B] [: xoff yoff]` (directions and
+///             offsets are accepted and ignored — partitioning only needs
+///             connectivity).
+/// Comment lines start with '#'. Parsers throw fhp::IoError with precise
+/// messages on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hypergraph/io.hpp"
+
+namespace fhp {
+
+/// A parsed bookshelf design: netlist plus terminal (pad) markers.
+struct BookshelfDesign {
+  NamedNetlist netlist;
+  /// is_terminal[v] = 1 for pad/terminal nodes.
+  std::vector<std::uint8_t> is_terminal;
+};
+
+/// Parses a .nodes / .nets stream pair.
+[[nodiscard]] BookshelfDesign read_bookshelf(std::istream& nodes,
+                                             std::istream& nets);
+
+/// Parses a .nodes / .nets file pair from disk.
+[[nodiscard]] BookshelfDesign read_bookshelf_files(
+    const std::string& nodes_path, const std::string& nets_path);
+
+/// Writes the design back out in bookshelf form (unit square area per
+/// weight unit: width = weight, height = 1).
+void write_bookshelf(std::ostream& nodes, std::ostream& nets,
+                     const BookshelfDesign& design);
+
+}  // namespace fhp

@@ -1,0 +1,148 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fhp {
+
+Hypergraph Hypergraph::from_edges(
+    VertexId num_vertices, const std::vector<std::vector<VertexId>>& edges) {
+  HypergraphBuilder builder;
+  builder.add_vertices(num_vertices);
+  for (const auto& pins : edges) {
+    builder.add_edge(std::span<const VertexId>(pins));
+  }
+  return std::move(builder).build();
+}
+
+bool Hypergraph::is_graph() const noexcept {
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (edge_size(e) != 2) return false;
+  }
+  return true;
+}
+
+void Hypergraph::validate() const {
+  FHP_ASSERT(edge_offsets_.size() == static_cast<std::size_t>(num_edges()) + 1,
+             "edge offset array size mismatch");
+  FHP_ASSERT(
+      vertex_offsets_.size() == static_cast<std::size_t>(num_vertices()) + 1,
+      "vertex offset array size mismatch");
+  FHP_ASSERT(edge_offsets_.front() == 0 && edge_offsets_.back() == num_pins(),
+             "edge offsets must span the pin array");
+  FHP_ASSERT(vertex_offsets_.front() == 0 &&
+                 vertex_offsets_.back() == vertex_edges_.size(),
+             "vertex offsets must span the incidence array");
+  FHP_ASSERT(edge_pins_.size() == vertex_edges_.size(),
+             "pin and incidence arrays must have equal length");
+  FHP_ASSERT(vertex_weights_.size() == num_vertices(),
+             "one weight per vertex");
+  FHP_ASSERT(edge_weights_.size() == num_edges(), "one weight per edge");
+
+  std::size_t pin_count = 0;
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const auto ps = pins(e);
+    pin_count += ps.size();
+    FHP_ASSERT(std::is_sorted(ps.begin(), ps.end()), "pins must be sorted");
+    FHP_ASSERT(std::adjacent_find(ps.begin(), ps.end()) == ps.end(),
+               "pins must be distinct");
+    for (VertexId v : ps) {
+      FHP_ASSERT(v < num_vertices(), "pin references unknown vertex");
+      const auto nets = nets_of(v);
+      FHP_ASSERT(std::binary_search(nets.begin(), nets.end(), e),
+                 "incidence arrays out of sync");
+    }
+  }
+  FHP_ASSERT(pin_count == num_pins(), "pin count mismatch");
+
+  Weight vw = 0;
+  for (Weight w : vertex_weights_) vw += w;
+  Weight ew = 0;
+  for (Weight w : edge_weights_) ew += w;
+  FHP_ASSERT(vw == total_vertex_weight_, "cached vertex weight total stale");
+  FHP_ASSERT(ew == total_edge_weight_, "cached edge weight total stale");
+}
+
+VertexId HypergraphBuilder::add_vertex(Weight weight) {
+  FHP_REQUIRE(weight >= 0, "vertex weight must be non-negative");
+  vertex_weights_.push_back(weight);
+  return static_cast<VertexId>(vertex_weights_.size() - 1);
+}
+
+VertexId HypergraphBuilder::add_vertices(VertexId count) {
+  const auto first = static_cast<VertexId>(vertex_weights_.size());
+  vertex_weights_.resize(vertex_weights_.size() + count, Weight{1});
+  return first;
+}
+
+EdgeId HypergraphBuilder::add_edge(std::span<const VertexId> pins,
+                                   Weight weight) {
+  FHP_REQUIRE(weight >= 0, "edge weight must be non-negative");
+  const std::size_t start = edge_pins_.size();
+  for (VertexId v : pins) {
+    FHP_REQUIRE(v < vertex_weights_.size(),
+                "edge pin references a vertex that was never added");
+    edge_pins_.push_back(v);
+  }
+  // Sort + dedupe this edge's pins in place.
+  const auto begin = edge_pins_.begin() + static_cast<std::ptrdiff_t>(start);
+  std::sort(begin, edge_pins_.end());
+  edge_pins_.erase(std::unique(begin, edge_pins_.end()), edge_pins_.end());
+  edge_offsets_.push_back(edge_pins_.size());
+  edge_weights_.push_back(weight);
+  return static_cast<EdgeId>(edge_weights_.size() - 1);
+}
+
+EdgeId HypergraphBuilder::add_edge(std::initializer_list<VertexId> pins,
+                                   Weight weight) {
+  return add_edge(std::span<const VertexId>(pins.begin(), pins.size()),
+                  weight);
+}
+
+void HypergraphBuilder::set_vertex_weight(VertexId v, Weight weight) {
+  FHP_REQUIRE(v < vertex_weights_.size(), "unknown vertex");
+  FHP_REQUIRE(weight >= 0, "vertex weight must be non-negative");
+  vertex_weights_[v] = weight;
+}
+
+Hypergraph HypergraphBuilder::build() && {
+  Hypergraph h;
+  h.edge_offsets_ = std::move(edge_offsets_);
+  h.edge_pins_ = std::move(edge_pins_);
+  h.vertex_weights_ = std::move(vertex_weights_);
+  h.edge_weights_ = std::move(edge_weights_);
+
+  const VertexId nv = static_cast<VertexId>(h.vertex_weights_.size());
+  const EdgeId ne = static_cast<EdgeId>(h.edge_weights_.size());
+
+  // Build the inverse incidence (vertex -> nets) by counting sort, which
+  // also leaves each vertex's net list sorted because edges are scanned in
+  // ascending id order.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nv) + 1, 0);
+  for (VertexId v : h.edge_pins_) ++counts[v + 1];
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  h.vertex_offsets_ = counts;
+  h.vertex_edges_.resize(h.edge_pins_.size());
+  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+  for (EdgeId e = 0; e < ne; ++e) {
+    for (std::size_t i = h.edge_offsets_[e]; i < h.edge_offsets_[e + 1]; ++i) {
+      h.vertex_edges_[cursor[h.edge_pins_[i]]++] = e;
+    }
+  }
+
+  h.total_vertex_weight_ = 0;
+  for (Weight w : h.vertex_weights_) h.total_vertex_weight_ += w;
+  h.total_edge_weight_ = 0;
+  for (Weight w : h.edge_weights_) h.total_edge_weight_ += w;
+  h.max_edge_size_ = 0;
+  for (EdgeId e = 0; e < ne; ++e) {
+    h.max_edge_size_ = std::max(h.max_edge_size_, h.edge_size(e));
+  }
+  h.max_degree_ = 0;
+  for (VertexId v = 0; v < nv; ++v) {
+    h.max_degree_ = std::max(h.max_degree_, h.degree(v));
+  }
+  return h;
+}
+
+}  // namespace fhp

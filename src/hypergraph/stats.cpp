@@ -1,0 +1,55 @@
+#include "hypergraph/stats.hpp"
+
+#include <sstream>
+
+namespace fhp {
+
+HypergraphStats compute_stats(const Hypergraph& h) {
+  HypergraphStats s;
+  s.num_vertices = h.num_vertices();
+  s.num_edges = h.num_edges();
+  s.num_pins = h.num_pins();
+  s.max_edge_size = h.max_edge_size();
+  s.max_degree = h.max_degree();
+  s.edge_size_histogram.assign(h.max_edge_size() + 1, 0);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const std::uint32_t size = h.edge_size(e);
+    ++s.edge_size_histogram[size];
+    if (size < 2) ++s.num_trivial_edges;
+  }
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    if (h.degree(v) == 0) ++s.num_isolated_vertices;
+  }
+  s.avg_edge_size =
+      s.num_edges == 0
+          ? 0.0
+          : static_cast<double>(s.num_pins) / static_cast<double>(s.num_edges);
+  s.avg_degree = s.num_vertices == 0
+                     ? 0.0
+                     : static_cast<double>(s.num_pins) /
+                           static_cast<double>(s.num_vertices);
+  return s;
+}
+
+double fraction_edges_at_least(const Hypergraph& h, std::uint32_t k) {
+  if (h.num_edges() == 0) return 0.0;
+  EdgeId count = 0;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    if (h.edge_size(e) >= k) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(h.num_edges());
+}
+
+std::string to_string(const HypergraphStats& stats) {
+  std::ostringstream os;
+  os << "hypergraph: " << stats.num_vertices << " modules, " << stats.num_edges
+     << " nets, " << stats.num_pins << " pins\n"
+     << "  avg net size " << stats.avg_edge_size << " (max "
+     << stats.max_edge_size << "), avg degree " << stats.avg_degree << " (max "
+     << stats.max_degree << ")\n"
+     << "  " << stats.num_isolated_vertices << " isolated modules, "
+     << stats.num_trivial_edges << " trivial nets\n";
+  return os.str();
+}
+
+}  // namespace fhp

@@ -1,0 +1,41 @@
+/// \file stats.hpp (hypergraph)
+/// Descriptive statistics of a netlist, used by the generators' self-checks
+/// and the experiment harness (e.g. reporting average net size per
+/// technology preset, matching the paper's §3 discussion).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Summary statistics of a hypergraph.
+struct HypergraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  std::size_t num_pins = 0;
+  double avg_edge_size = 0.0;
+  std::uint32_t max_edge_size = 0;
+  double avg_degree = 0.0;
+  std::uint32_t max_degree = 0;
+  VertexId num_isolated_vertices = 0;  ///< modules on no net
+  EdgeId num_trivial_edges = 0;        ///< nets with < 2 pins
+  /// edge_size_histogram[k] = number of nets with exactly k pins
+  /// (index 0..max_edge_size).
+  std::vector<EdgeId> edge_size_histogram;
+};
+
+/// Computes summary statistics in one pass over the hypergraph.
+[[nodiscard]] HypergraphStats compute_stats(const Hypergraph& h);
+
+/// Fraction of nets with size >= k (0 when there are no nets). This is the
+/// quantity thresholded by the paper's large-net relaxation.
+[[nodiscard]] double fraction_edges_at_least(const Hypergraph& h,
+                                             std::uint32_t k);
+
+/// Renders the stats as a short human-readable report.
+[[nodiscard]] std::string to_string(const HypergraphStats& stats);
+
+}  // namespace fhp

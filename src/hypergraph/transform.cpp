@@ -1,0 +1,131 @@
+#include "hypergraph/transform.hpp"
+
+#include <algorithm>
+
+namespace fhp {
+
+namespace {
+
+EdgeFilterResult filter_edges_by_size(const Hypergraph& h,
+                                      std::uint32_t min_size,
+                                      std::uint32_t max_size) {
+  HypergraphBuilder builder;
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    builder.add_vertex(h.vertex_weight(v));
+  }
+  std::vector<EdgeId> kept;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const std::uint32_t size = h.edge_size(e);
+    if (size < min_size || size > max_size) continue;
+    builder.add_edge(h.pins(e), h.edge_weight(e));
+    kept.push_back(e);
+  }
+  return {std::move(builder).build(), std::move(kept)};
+}
+
+}  // namespace
+
+EdgeFilterResult filter_large_edges(const Hypergraph& h,
+                                    std::uint32_t max_size) {
+  FHP_REQUIRE(max_size >= 2, "edge-size threshold below 2 drops every net");
+  return filter_edges_by_size(h, 2, max_size);
+}
+
+EdgeFilterResult filter_trivial_edges(const Hypergraph& h) {
+  return filter_edges_by_size(h, 2,
+                              std::numeric_limits<std::uint32_t>::max());
+}
+
+GranularizeResult granularize(const Hypergraph& h, Weight max_chunk_weight,
+                              Weight link_weight) {
+  FHP_REQUIRE(max_chunk_weight > 0, "chunk weight must be positive");
+  GranularizeResult result;
+  result.chunks_of.resize(h.num_vertices());
+
+  HypergraphBuilder builder;
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    const Weight w = h.vertex_weight(v);
+    // Number of chunks: ceil(w / max_chunk_weight), at least one even for
+    // zero-weight modules (they must still exist to carry their pins).
+    const Weight chunks =
+        std::max<Weight>(1, (w + max_chunk_weight - 1) / max_chunk_weight);
+    Weight remaining = w;
+    for (Weight c = 0; c < chunks; ++c) {
+      const Weight cw = (c + 1 == chunks)
+                            ? remaining
+                            : std::min(remaining, max_chunk_weight);
+      remaining -= cw;
+      const VertexId id = builder.add_vertex(cw);
+      result.chunk_of.push_back(v);
+      result.chunks_of[v].push_back(id);
+    }
+  }
+  // Chain nets linking consecutive chunks of the same module.
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    const auto& chunks = result.chunks_of[v];
+    for (std::size_t i = 1; i < chunks.size(); ++i) {
+      builder.add_edge({chunks[i - 1], chunks[i]}, link_weight);
+    }
+  }
+  // Original nets pin the head chunk of each module.
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    std::vector<VertexId> pins;
+    pins.reserve(h.pins(e).size());
+    for (VertexId v : h.pins(e)) pins.push_back(result.chunks_of[v].front());
+    builder.add_edge(std::span<const VertexId>(pins), h.edge_weight(e));
+  }
+  result.hypergraph = std::move(builder).build();
+  return result;
+}
+
+std::vector<std::uint8_t> project_granularized_sides(
+    const GranularizeResult& g, const std::vector<std::uint8_t>& chunk_sides) {
+  FHP_REQUIRE(chunk_sides.size() == g.chunk_of.size(),
+              "one side per granularized chunk expected");
+  std::vector<std::uint8_t> sides(g.chunks_of.size(), 0);
+  for (VertexId v = 0; v < g.chunks_of.size(); ++v) {
+    Weight w0 = 0;
+    Weight w1 = 0;
+    for (VertexId chunk : g.chunks_of[v]) {
+      const Weight cw = g.hypergraph.vertex_weight(chunk);
+      // Count chunk multiplicity even for zero-weight chunks so that
+      // zero-weight modules still follow the majority of their chunks.
+      const Weight unit = cw > 0 ? cw : 1;
+      if (chunk_sides[chunk] == 0) {
+        w0 += unit;
+      } else {
+        w1 += unit;
+      }
+    }
+    sides[v] = (w1 > w0) ? std::uint8_t{1} : std::uint8_t{0};
+  }
+  return sides;
+}
+
+InducedResult induced_subhypergraph(const Hypergraph& h,
+                                    const std::vector<std::uint8_t>& keep) {
+  FHP_REQUIRE(keep.size() == h.num_vertices(),
+              "keep mask must cover every vertex");
+  InducedResult result;
+  result.vertex_map.assign(h.num_vertices(), kInvalidVertex);
+
+  HypergraphBuilder builder;
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    if (!keep[v]) continue;
+    result.vertex_map[v] = builder.add_vertex(h.vertex_weight(v));
+    result.kept_vertices.push_back(v);
+  }
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    std::vector<VertexId> pins;
+    for (VertexId v : h.pins(e)) {
+      if (keep[v]) pins.push_back(result.vertex_map[v]);
+    }
+    if (pins.size() < 2) continue;
+    builder.add_edge(std::span<const VertexId>(pins), h.edge_weight(e));
+    result.kept_edges.push_back(e);
+  }
+  result.hypergraph = std::move(builder).build();
+  return result;
+}
+
+}  // namespace fhp

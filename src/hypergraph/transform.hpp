@@ -1,0 +1,71 @@
+/// \file transform.hpp
+/// Structure-preserving hypergraph rewrites used by Algorithm I's
+/// preprocessing stages (§3 of the paper) and by the generators.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Result of an edge-filtering transform. `kept_edges[i]` is the id, in the
+/// *original* hypergraph, of edge `i` of the filtered hypergraph, so that
+/// results computed on the filtered instance can be mapped back.
+struct EdgeFilterResult {
+  Hypergraph hypergraph;
+  std::vector<EdgeId> kept_edges;
+};
+
+/// Drops every net with more than \p max_size pins (and, always, nets with
+/// fewer than 2 pins, which can never be cut). This is the paper's
+/// "heuristically ignore large edges" relaxation: a net of size k crosses
+/// the min-cut bipartition with probability 1 - O(2^-k), so excluding nets
+/// above a small threshold barely perturbs the optimum while bounding the
+/// intersection-graph degree. The vertex set is unchanged.
+[[nodiscard]] EdgeFilterResult filter_large_edges(const Hypergraph& h,
+                                                  std::uint32_t max_size);
+
+/// Drops nets with fewer than 2 pins only.
+[[nodiscard]] EdgeFilterResult filter_trivial_edges(const Hypergraph& h);
+
+/// Result of granularization. `chunk_of[u]` maps each new vertex to its
+/// original module; `chunks_of` gives, per original module, the list of new
+/// vertex ids that replace it.
+struct GranularizeResult {
+  Hypergraph hypergraph;
+  std::vector<VertexId> chunk_of;
+  std::vector<std::vector<VertexId>> chunks_of;
+};
+
+/// The paper's *granularization* extension (§4 "Extensions"): every module
+/// whose weight exceeds \p max_chunk_weight is replaced by
+/// ceil(weight / max_chunk_weight) unit-linked chunks connected in a chain
+/// of 2-pin "linking" nets of weight \p link_weight. Each original net is
+/// rewired to pin the first chunk of each of its modules. A high link
+/// weight discourages partitioners from splitting a module; the finer
+/// granularity lets the weight balance come out much closer to even.
+[[nodiscard]] GranularizeResult granularize(const Hypergraph& h,
+                                            Weight max_chunk_weight,
+                                            Weight link_weight = 1);
+
+/// Projects a per-chunk side assignment back to original modules by
+/// majority weight (ties go to side 0). Used after partitioning a
+/// granularized instance. `chunk_sides[u]` in {0,1}.
+[[nodiscard]] std::vector<std::uint8_t> project_granularized_sides(
+    const GranularizeResult& g, const std::vector<std::uint8_t>& chunk_sides);
+
+/// Returns the sub-hypergraph induced by `keep[v] == true` vertices:
+/// every net is restricted to kept pins; restricted nets with < 2 pins are
+/// dropped. `vertex_map` gives old→new vertex ids (kInvalidVertex when
+/// dropped); `kept_vertices` is new→old.
+struct InducedResult {
+  Hypergraph hypergraph;
+  std::vector<VertexId> vertex_map;
+  std::vector<VertexId> kept_vertices;
+  std::vector<EdgeId> kept_edges;
+};
+[[nodiscard]] InducedResult induced_subhypergraph(
+    const Hypergraph& h, const std::vector<std::uint8_t>& keep);
+
+}  // namespace fhp

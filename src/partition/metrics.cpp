@@ -1,0 +1,50 @@
+#include "partition/metrics.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace fhp {
+
+PartitionMetrics compute_metrics(const Bipartition& p) {
+  PartitionMetrics m;
+  m.cut_edges = p.cut_edges();
+  m.cut_weight = p.cut_weight();
+  m.left_count = p.count(0);
+  m.right_count = p.count(1);
+  m.left_weight = p.weight(0);
+  m.right_weight = p.weight(1);
+  m.cardinality_imbalance = p.cardinality_imbalance();
+  m.weight_imbalance = p.weight_imbalance();
+  m.proper = p.is_proper();
+  m.quotient_cut = quotient_cut(p);
+  m.ratio_cut = ratio_cut(p);
+  return m;
+}
+
+double quotient_cut(const Bipartition& p) {
+  if (!p.is_proper()) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(p.cut_weight()) /
+         (static_cast<double>(p.count(0)) * static_cast<double>(p.count(1)));
+}
+
+double ratio_cut(const Bipartition& p) {
+  if (!p.is_proper()) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(p.cut_weight()) /
+         static_cast<double>(std::min(p.count(0), p.count(1)));
+}
+
+bool satisfies_r_balance(const Bipartition& p, VertexId r) {
+  return p.cardinality_imbalance() <= r;
+}
+
+bool is_bisection(const Bipartition& p) { return satisfies_r_balance(p, 1); }
+
+std::string to_string(const PartitionMetrics& m) {
+  std::ostringstream os;
+  os << "cut=" << m.cut_edges << " (weight " << m.cut_weight << "), sides "
+     << m.left_count << "/" << m.right_count << " (weights " << m.left_weight
+     << "/" << m.right_weight << "), quotient=" << m.quotient_cut;
+  return os.str();
+}
+
+}  // namespace fhp

@@ -1,0 +1,49 @@
+/// \file metrics.hpp
+/// Partition quality metrics from the paper: hyperedge cutsize, the
+/// r-bipartition balance criterion (Fiduccia–Mattheyses), the quotient-cut
+/// objective of Leighton–Rao (§1), and ratio variants.
+#pragma once
+
+#include <string>
+
+#include "partition/partition.hpp"
+
+namespace fhp {
+
+/// Quality summary of a bipartition.
+struct PartitionMetrics {
+  EdgeId cut_edges = 0;                ///< nets crossing the cut
+  Weight cut_weight = 0;               ///< weighted cut
+  VertexId left_count = 0;             ///< |V_L|
+  VertexId right_count = 0;            ///< |V_R|
+  Weight left_weight = 0;              ///< w(V_L)
+  Weight right_weight = 0;             ///< w(V_R)
+  VertexId cardinality_imbalance = 0;  ///< ||V_L| - |V_R||
+  Weight weight_imbalance = 0;         ///< |w(V_L) - w(V_R)|
+  double quotient_cut = 0.0;           ///< cut / (|V_L| * |V_R|)
+  double ratio_cut = 0.0;              ///< cut / min(|V_L|, |V_R|)
+  bool proper = false;                 ///< both sides nonempty
+};
+
+/// Computes all metrics of \p p.
+[[nodiscard]] PartitionMetrics compute_metrics(const Bipartition& p);
+
+/// The paper's quotient-cut objective e(V_L, V_R) / (|V_L| * |V_R|);
+/// +infinity for improper cuts (so minimization never picks them).
+[[nodiscard]] double quotient_cut(const Bipartition& p);
+
+/// cut / min(|V_L|, |V_R|); +infinity for improper cuts.
+[[nodiscard]] double ratio_cut(const Bipartition& p);
+
+/// True iff the partition satisfies the r-bipartition criterion of
+/// Fiduccia–Mattheyses: cardinality difference at most \p r.
+[[nodiscard]] bool satisfies_r_balance(const Bipartition& p, VertexId r);
+
+/// True iff the partition is a bisection per the paper's §1 definition:
+/// | |V_L| - |V_R| | <= 1.
+[[nodiscard]] bool is_bisection(const Bipartition& p);
+
+/// One-line human-readable rendering of the metrics.
+[[nodiscard]] std::string to_string(const PartitionMetrics& m);
+
+}  // namespace fhp

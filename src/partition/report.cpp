@@ -1,0 +1,74 @@
+#include "partition/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "partition/metrics.hpp"
+
+namespace fhp {
+
+CutProfile cut_profile(const Bipartition& p) {
+  const Hypergraph& h = p.hypergraph();
+  CutProfile profile;
+  profile.nets_of_size.assign(h.max_edge_size() + 1, 0);
+  profile.cut_of_size.assign(h.max_edge_size() + 1, 0);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const std::uint32_t size = h.edge_size(e);
+    ++profile.nets_of_size[size];
+    if (p.is_cut(e)) ++profile.cut_of_size[size];
+  }
+  return profile;
+}
+
+PartitionReport analyze(const Bipartition& p) {
+  const Hypergraph& h = p.hypergraph();
+  PartitionReport report;
+  report.metrics = compute_metrics(p);
+  report.profile = cut_profile(p);
+
+  std::size_t size_sum = 0;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    if (!p.is_cut(e)) continue;
+    report.cut_nets.push_back(e);
+    const std::uint32_t size = h.edge_size(e);
+    size_sum += size;
+    if (report.cut_nets.size() == 1) {
+      report.min_cut_net_size = size;
+      report.max_cut_net_size = size;
+    } else {
+      report.min_cut_net_size = std::min(report.min_cut_net_size, size);
+      report.max_cut_net_size = std::max(report.max_cut_net_size, size);
+    }
+    report.minority_pins +=
+        std::min(p.pins_on_side(e, 0), p.pins_on_side(e, 1));
+  }
+  report.avg_cut_net_size =
+      report.cut_nets.empty()
+          ? 0.0
+          : static_cast<double>(size_sum) /
+                static_cast<double>(report.cut_nets.size());
+  return report;
+}
+
+std::string to_string(const PartitionReport& report) {
+  std::ostringstream os;
+  os << to_string(report.metrics) << '\n';
+  if (report.cut_nets.empty()) {
+    os << "no crossing nets\n";
+    return os.str();
+  }
+  os << "crossing nets: " << report.cut_nets.size() << " (sizes "
+     << report.min_cut_net_size << ".." << report.max_cut_net_size
+     << ", avg " << report.avg_cut_net_size << "), minority pins "
+     << report.minority_pins << '\n';
+  os << "crossing fraction by net size:";
+  for (std::uint32_t k = 2; k < report.profile.nets_of_size.size(); ++k) {
+    if (report.profile.nets_of_size[k] == 0) continue;
+    os << "  " << k << ":" << report.profile.cut_of_size[k] << '/'
+       << report.profile.nets_of_size[k];
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace fhp

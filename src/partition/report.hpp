@@ -1,0 +1,53 @@
+/// \file report.hpp
+/// Detailed partition analysis and human-readable reporting — what an
+/// engineer inspects after a cut: which nets cross, how the crossing
+/// probability grows with net size (the paper's Table 1 view of a single
+/// partition), and the per-side composition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+
+namespace fhp {
+
+/// Per-net-size crossing statistics of one partition.
+struct CutProfile {
+  /// nets_of_size[k] = number of nets with exactly k pins.
+  std::vector<EdgeId> nets_of_size;
+  /// cut_of_size[k] = how many of them cross the cut.
+  std::vector<EdgeId> cut_of_size;
+
+  /// Crossing fraction for size k (0 when no such net exists).
+  [[nodiscard]] double crossing_fraction(std::uint32_t k) const {
+    if (k >= nets_of_size.size() || nets_of_size[k] == 0) return 0.0;
+    return static_cast<double>(cut_of_size[k]) /
+           static_cast<double>(nets_of_size[k]);
+  }
+};
+
+/// Computes the crossing profile of \p p.
+[[nodiscard]] CutProfile cut_profile(const Bipartition& p);
+
+/// Full analysis of a bipartition.
+struct PartitionReport {
+  PartitionMetrics metrics;
+  CutProfile profile;
+  std::vector<EdgeId> cut_nets;         ///< ids of crossing nets, ascending
+  std::uint32_t min_cut_net_size = 0;   ///< smallest crossing net
+  std::uint32_t max_cut_net_size = 0;   ///< largest crossing net
+  double avg_cut_net_size = 0.0;
+  /// Pins of crossing nets stranded on the minority side (a router-load
+  /// proxy): sum over cut nets of min(pins left, pins right).
+  std::size_t minority_pins = 0;
+};
+
+/// Builds the full report for \p p.
+[[nodiscard]] PartitionReport analyze(const Bipartition& p);
+
+/// Renders the report as a multi-line human-readable string.
+[[nodiscard]] std::string to_string(const PartitionReport& report);
+
+}  // namespace fhp

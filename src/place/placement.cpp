@@ -1,0 +1,317 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/fm.hpp"
+#include "baselines/kl.hpp"
+#include "baselines/random_cut.hpp"
+#include "core/recursive.hpp"
+#include "hypergraph/transform.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace fhp {
+
+namespace {
+
+bool is_power_of_two(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// One bisection of the induced sub-netlist with the selected engine.
+std::vector<std::uint8_t> bisect(const Hypergraph& sub,
+                                 const PlacementOptions& options,
+                                 std::uint64_t seed) {
+  switch (options.engine) {
+    case PlacementEngine::kAlgorithm1: {
+      Algorithm1Options a1 = options.algorithm1;
+      a1.seed = seed;
+      return algorithm1(sub, a1).sides;
+    }
+    case PlacementEngine::kFm: {
+      FmOptions fm;
+      fm.seed = seed;
+      return fiduccia_mattheyses(sub, fm).sides;
+    }
+    case PlacementEngine::kKl: {
+      KlOptions kl;
+      kl.seed = seed;
+      return kernighan_lin(sub, kl).sides;
+    }
+    case PlacementEngine::kRandom:
+      return random_bisection(sub, seed).sides;
+  }
+  FHP_ASSERT(false, "unknown placement engine");
+  return {};
+}
+
+/// Work item of the level-order splitter: a block of modules bound to a
+/// region rectangle [col0, col1) x [row0, row1).
+struct Block {
+  std::vector<VertexId> vertices;
+  std::uint32_t col0, col1, row0, row1;
+  std::uint64_t seed;
+};
+
+/// Orientation cost of mapping `first` onto the sub-rectangle centered at
+/// `center_a` and `second` onto `center_b` along the split axis: nets
+/// with pins outside the block pull their internal pins toward the
+/// external pins' current coordinates (terminal propagation).
+double orientation_cost(const Hypergraph& h,
+                        const std::vector<std::uint8_t>& in_block,
+                        const std::vector<std::uint8_t>& in_first,
+                        const std::vector<double>& coord, double center_a,
+                        double center_b) {
+  double cost = 0.0;
+  std::vector<std::uint8_t> visited(h.num_edges(), 0);
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    if (!in_block[v]) continue;
+    for (EdgeId e : h.nets_of(v)) {
+      if (visited[e]) continue;
+      visited[e] = 1;
+      double external_sum = 0.0;
+      std::uint32_t external = 0;
+      std::uint32_t first_pins = 0;
+      std::uint32_t second_pins = 0;
+      for (VertexId w : h.pins(e)) {
+        if (!in_block[w]) {
+          external_sum += coord[w];
+          ++external;
+        } else if (in_first[w]) {
+          ++first_pins;
+        } else {
+          ++second_pins;
+        }
+      }
+      if (external == 0) continue;
+      const double pull = external_sum / external;
+      cost += first_pins * std::abs(pull - center_a) +
+              second_pins * std::abs(pull - center_b);
+    }
+  }
+  return cost;
+}
+
+/// Level-order region splitter with optional terminal propagation.
+void split_all(const Hypergraph& h, const PlacementOptions& options,
+               Placement& placement) {
+  // Current block-center coordinate per module, refined level by level.
+  std::vector<double> cx(h.num_vertices(),
+                         static_cast<double>(placement.grid_cols) / 2.0);
+  std::vector<double> cy(h.num_vertices(),
+                         static_cast<double>(placement.grid_rows) / 2.0);
+
+  std::vector<Block> queue;
+  {
+    Block root;
+    root.vertices.resize(h.num_vertices());
+    for (VertexId v = 0; v < h.num_vertices(); ++v) root.vertices[v] = v;
+    root.col0 = 0;
+    root.col1 = placement.grid_cols;
+    root.row0 = 0;
+    root.row1 = placement.grid_rows;
+    root.seed = options.seed;
+    queue.push_back(std::move(root));
+  }
+
+  std::vector<std::uint8_t> in_block(h.num_vertices(), 0);
+  std::vector<std::uint8_t> in_first(h.num_vertices(), 0);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    // NOTE: take a copy, queue.push_back below may reallocate.
+    const Block block = std::move(queue[head]);
+    const std::uint32_t width = block.col1 - block.col0;
+    const std::uint32_t height = block.row1 - block.row0;
+    if (width == 1 && height == 1) {
+      const std::uint32_t region =
+          block.row0 * placement.grid_cols + block.col0;
+      for (VertexId v : block.vertices) placement.region[v] = region;
+      continue;
+    }
+
+    // Bisect the block's induced sub-netlist.
+    std::vector<std::uint8_t> sides;
+    if (block.vertices.size() >= 2) {
+      std::vector<std::uint8_t> keep(h.num_vertices(), 0);
+      for (VertexId v : block.vertices) keep[v] = 1;
+      const InducedResult sub = induced_subhypergraph(h, keep);
+      if (sub.hypergraph.num_vertices() >= 2) {
+        std::vector<std::uint8_t> sub_sides =
+            bisect(sub.hypergraph, options, block.seed);
+        Bipartition p(sub.hypergraph, std::move(sub_sides));
+        rebalance_bipartition(p, 0.5, options.balance_tolerance / 2.0);
+        sides.assign(block.vertices.size(), 0);
+        for (VertexId u = 0; u < sub.hypergraph.num_vertices(); ++u) {
+          // kept_vertices ascends, as does block.vertices: map by position.
+          sides[u] = p.side(u);
+        }
+      }
+    }
+    if (sides.empty()) sides.assign(block.vertices.size(), 0);
+
+    Block first;
+    Block second;
+    for (std::size_t i = 0; i < block.vertices.size(); ++i) {
+      (sides[i] == 0 ? first : second).vertices.push_back(block.vertices[i]);
+    }
+
+    // Sub-rectangles along the longer axis.
+    const bool vertical = width >= height;
+    double center_a;
+    double center_b;
+    if (vertical) {
+      const std::uint32_t mid = block.col0 + width / 2;
+      first.col0 = block.col0, first.col1 = mid;
+      second.col0 = mid, second.col1 = block.col1;
+      first.row0 = second.row0 = block.row0;
+      first.row1 = second.row1 = block.row1;
+      center_a = (block.col0 + mid) / 2.0;
+      center_b = (mid + block.col1) / 2.0;
+    } else {
+      const std::uint32_t mid = block.row0 + height / 2;
+      first.row0 = block.row0, first.row1 = mid;
+      second.row0 = mid, second.row1 = block.row1;
+      first.col0 = second.col0 = block.col0;
+      first.col1 = second.col1 = block.col1;
+      center_a = (block.row0 + mid) / 2.0;
+      center_b = (mid + block.row1) / 2.0;
+    }
+
+    // Terminal propagation: choose which half lands on which sub-rect.
+    if (options.terminal_propagation) {
+      for (VertexId v : block.vertices) in_block[v] = 1;
+      for (VertexId v : first.vertices) in_first[v] = 1;
+      const std::vector<double>& coord = vertical ? cx : cy;
+      const double keep_cost = orientation_cost(h, in_block, in_first, coord,
+                                                center_a, center_b);
+      const double swap_cost = orientation_cost(h, in_block, in_first, coord,
+                                                center_b, center_a);
+      if (swap_cost < keep_cost) first.vertices.swap(second.vertices);
+      for (VertexId v : block.vertices) in_block[v] = 0;
+      for (VertexId v : first.vertices) in_first[v] = 0;
+      for (VertexId v : second.vertices) in_first[v] = 0;
+    }
+
+    // Refine current coordinates to the new sub-rect centers.
+    for (VertexId v : first.vertices) {
+      cx[v] = (first.col0 + first.col1) / 2.0;
+      cy[v] = (first.row0 + first.row1) / 2.0;
+    }
+    for (VertexId v : second.vertices) {
+      cx[v] = (second.col0 + second.col1) / 2.0;
+      cy[v] = (second.row0 + second.row1) / 2.0;
+    }
+
+    std::uint64_t sm = block.seed;
+    first.seed = splitmix64(sm);
+    second.seed = splitmix64(sm);
+    queue.push_back(std::move(first));
+    queue.push_back(std::move(second));
+  }
+}
+
+/// Lays the modules of each region out on a local mini-grid inside the
+/// region's unit square, producing continuous coordinates.
+void assign_coordinates(const Hypergraph& h, Placement& placement) {
+  const std::uint32_t regions = placement.grid_cols * placement.grid_rows;
+  std::vector<std::vector<VertexId>> members(regions);
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    members[placement.region[v]].push_back(v);
+  }
+  placement.x.assign(h.num_vertices(), 0.0);
+  placement.y.assign(h.num_vertices(), 0.0);
+  for (std::uint32_t r = 0; r < regions; ++r) {
+    const auto& block = members[r];
+    if (block.empty()) continue;
+    const auto side_len = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(block.size()))));
+    const double origin_x = static_cast<double>(r % placement.grid_cols);
+    const double origin_y = static_cast<double>(r / placement.grid_cols);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const auto sx = static_cast<double>(i % side_len);
+      const auto sy = static_cast<double>(i / side_len);
+      placement.x[block[i]] = origin_x + (sx + 0.5) / side_len;
+      placement.y[block[i]] = origin_y + (sy + 0.5) / side_len;
+    }
+  }
+}
+
+}  // namespace
+
+Placement place_mincut(const Hypergraph& h, const PlacementOptions& options) {
+  FHP_REQUIRE(is_power_of_two(options.grid_cols) &&
+                  is_power_of_two(options.grid_rows),
+              "grid dimensions must be powers of two");
+  FHP_REQUIRE(options.grid_cols * options.grid_rows <= h.num_vertices(),
+              "more regions than modules");
+  Placement placement;
+  placement.grid_cols = options.grid_cols;
+  placement.grid_rows = options.grid_rows;
+  placement.region.assign(h.num_vertices(), 0);
+  split_all(h, options, placement);
+  assign_coordinates(h, placement);
+  return placement;
+}
+
+Placement place_random(const Hypergraph& h, std::uint32_t grid_cols,
+                       std::uint32_t grid_rows, std::uint64_t seed) {
+  FHP_REQUIRE(grid_cols > 0 && grid_rows > 0, "grid must be nonempty");
+  FHP_REQUIRE(grid_cols * grid_rows <= h.num_vertices(),
+              "more regions than modules");
+  Placement placement;
+  placement.grid_cols = grid_cols;
+  placement.grid_rows = grid_rows;
+  placement.region.assign(h.num_vertices(), 0);
+
+  Rng rng(seed);
+  std::vector<VertexId> order(h.num_vertices());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) order[v] = v;
+  rng.shuffle(order);
+  const std::uint32_t regions = grid_cols * grid_rows;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    placement.region[order[i]] =
+        static_cast<std::uint32_t>(i % regions);
+  }
+  assign_coordinates(h, placement);
+  return placement;
+}
+
+double half_perimeter_wirelength(const Hypergraph& h,
+                                 const Placement& placement) {
+  FHP_REQUIRE(placement.region.size() == h.num_vertices(),
+              "placement does not cover this netlist");
+  double total = 0.0;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto pins = h.pins(e);
+    if (pins.size() < 2) continue;
+    double min_x = placement.x[pins.front()];
+    double max_x = min_x;
+    double min_y = placement.y[pins.front()];
+    double max_y = min_y;
+    for (VertexId v : pins) {
+      min_x = std::min(min_x, placement.x[v]);
+      max_x = std::max(max_x, placement.x[v]);
+      min_y = std::min(min_y, placement.y[v]);
+      max_y = std::max(max_y, placement.y[v]);
+    }
+    total += (max_x - min_x) + (max_y - min_y);
+  }
+  return total;
+}
+
+EdgeId spanning_nets(const Hypergraph& h, const Placement& placement) {
+  FHP_REQUIRE(placement.region.size() == h.num_vertices(),
+              "placement does not cover this netlist");
+  EdgeId count = 0;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto pins = h.pins(e);
+    if (pins.empty()) continue;
+    for (VertexId v : pins) {
+      if (placement.region[v] != placement.region[pins.front()]) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace fhp

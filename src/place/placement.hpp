@@ -1,0 +1,87 @@
+/// \file placement.hpp
+/// Min-cut placement — the application that motivated the paper (§1,
+/// Breuer [4]; Dunlop–Kernighan [8]).
+///
+/// The netlist is placed onto a cols x rows grid of regions by recursive
+/// bisection with alternating cut directions (vertical first), each
+/// bisection performed by a pluggable engine — Algorithm I by default,
+/// or any baseline for comparison (`bench_placement` races them on
+/// wirelength). Region occupancy is kept even by the core rebalancer.
+/// Modules receive concrete (x, y) coordinates: region slots on a unit
+/// grid, filled row-major within each region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp {
+
+/// Which bipartitioner drives each recursive split.
+enum class PlacementEngine {
+  kAlgorithm1,  ///< the paper's heuristic (default)
+  kFm,          ///< Fiduccia–Mattheyses
+  kKl,          ///< Kernighan–Lin pair swaps
+  kRandom,      ///< random bisection (calibration floor)
+};
+
+/// Knobs for the placer.
+struct PlacementOptions {
+  std::uint32_t grid_cols = 4;  ///< power of two
+  std::uint32_t grid_rows = 4;  ///< power of two
+  PlacementEngine engine = PlacementEngine::kAlgorithm1;
+  /// Engine configuration for Algorithm I splits.
+  Algorithm1Options algorithm1;
+  /// Per-split occupancy tolerance (fraction of the block's weight).
+  double balance_tolerance = 0.08;
+  /// Terminal propagation (Dunlop–Kernighan [8], cited by the paper §1):
+  /// when a block is bisected, orient the two halves onto the two
+  /// sub-rectangles so that nets with pins *outside* the block pull their
+  /// internal pins toward the external pins' current positions. Splits
+  /// are processed level by level so external positions are meaningful.
+  bool terminal_propagation = true;
+  std::uint64_t seed = 1;
+};
+
+/// A placed netlist.
+struct Placement {
+  std::uint32_t grid_cols = 0;
+  std::uint32_t grid_rows = 0;
+  std::vector<std::uint32_t> region;  ///< region id = row * cols + col
+  std::vector<double> x;              ///< per-module coordinates
+  std::vector<double> y;
+
+  /// Column of module \p v's region.
+  [[nodiscard]] std::uint32_t col(VertexId v) const {
+    return region[v] % grid_cols;
+  }
+  /// Row of module \p v's region.
+  [[nodiscard]] std::uint32_t row(VertexId v) const {
+    return region[v] / grid_cols;
+  }
+};
+
+/// Places \p h onto the grid by recursive min-cut bisection.
+/// Requires grid dimensions to be powers of two and
+/// grid_cols * grid_rows <= num_vertices.
+[[nodiscard]] Placement place_mincut(const Hypergraph& h,
+                                     const PlacementOptions& options = {});
+
+/// Random placement baseline: modules shuffled onto regions evenly.
+[[nodiscard]] Placement place_random(const Hypergraph& h,
+                                     std::uint32_t grid_cols,
+                                     std::uint32_t grid_rows,
+                                     std::uint64_t seed);
+
+/// Half-perimeter wirelength of all nets under \p placement (the standard
+/// placement quality proxy; bounding-box net model, as in Breuer [4]).
+[[nodiscard]] double half_perimeter_wirelength(const Hypergraph& h,
+                                               const Placement& placement);
+
+/// Number of nets spanning more than one region.
+[[nodiscard]] EdgeId spanning_nets(const Hypergraph& h,
+                                   const Placement& placement);
+
+}  // namespace fhp

@@ -1,0 +1,171 @@
+#include "place/route.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fhp {
+
+namespace {
+
+/// Router working state with L-shape congestion-aware embedding.
+class GridRouter {
+ public:
+  GridRouter(RoutingResult& result)
+      : r_(result),
+        cols_(result.grid_cols),
+        rows_(result.grid_rows) {}
+
+  /// Usage of the horizontal step from (row, col) to (row, col+1).
+  std::uint32_t& h_edge(std::uint32_t row, std::uint32_t col) {
+    return r_.h_usage[row * (cols_ - 1) + col];
+  }
+  /// Usage of the vertical step from (row, col) to (row+1, col).
+  std::uint32_t& v_edge(std::uint32_t row, std::uint32_t col) {
+    return r_.v_usage[col * (rows_ - 1) + row];
+  }
+
+  /// Max usage along the horizontal run at `row` between columns.
+  std::uint32_t h_run_peak(std::uint32_t row, std::uint32_t c0,
+                           std::uint32_t c1) {
+    std::uint32_t peak = 0;
+    for (std::uint32_t c = std::min(c0, c1); c < std::max(c0, c1); ++c) {
+      peak = std::max(peak, h_edge(row, c));
+    }
+    return peak;
+  }
+  std::uint32_t v_run_peak(std::uint32_t col, std::uint32_t r0,
+                           std::uint32_t r1) {
+    std::uint32_t peak = 0;
+    for (std::uint32_t r = std::min(r0, r1); r < std::max(r0, r1); ++r) {
+      peak = std::max(peak, v_edge(col, r));
+    }
+    return peak;
+  }
+
+  void commit_h(std::uint32_t row, std::uint32_t c0, std::uint32_t c1) {
+    for (std::uint32_t c = std::min(c0, c1); c < std::max(c0, c1); ++c) {
+      ++h_edge(row, c);
+      ++r_.wirelength;
+    }
+  }
+  void commit_v(std::uint32_t col, std::uint32_t r0, std::uint32_t r1) {
+    for (std::uint32_t r = std::min(r0, r1); r < std::max(r0, r1); ++r) {
+      ++v_edge(col, r);
+      ++r_.wirelength;
+    }
+  }
+
+  /// Routes one two-pin connection as the less congested of the two
+  /// L-shapes.
+  void route_two_pin(std::uint32_t r0, std::uint32_t c0, std::uint32_t r1,
+                     std::uint32_t c1) {
+    if (r0 == r1 && c0 == c1) return;
+    if (r0 == r1) {
+      commit_h(r0, c0, c1);
+      return;
+    }
+    if (c0 == c1) {
+      commit_v(c0, r0, r1);
+      return;
+    }
+    // Elbow A: horizontal at r0, then vertical at c1.
+    const std::uint32_t peak_a =
+        std::max(h_run_peak(r0, c0, c1), v_run_peak(c1, r0, r1));
+    // Elbow B: vertical at c0, then horizontal at r1.
+    const std::uint32_t peak_b =
+        std::max(v_run_peak(c0, r0, r1), h_run_peak(r1, c0, c1));
+    if (peak_a <= peak_b) {
+      commit_h(r0, c0, c1);
+      commit_v(c1, r0, r1);
+    } else {
+      commit_v(c0, r0, r1);
+      commit_h(r1, c0, c1);
+    }
+  }
+
+ private:
+  RoutingResult& r_;
+  std::uint32_t cols_;
+  std::uint32_t rows_;
+};
+
+}  // namespace
+
+std::uint32_t RoutingResult::overflow(std::uint32_t capacity) const {
+  std::uint32_t count = 0;
+  for (std::uint32_t u : h_usage) {
+    if (u > capacity) ++count;
+  }
+  for (std::uint32_t u : v_usage) {
+    if (u > capacity) ++count;
+  }
+  return count;
+}
+
+RoutingResult route_global(const Hypergraph& h, const Placement& placement) {
+  FHP_REQUIRE(placement.region.size() == h.num_vertices(),
+              "placement does not cover this netlist");
+  FHP_REQUIRE(placement.grid_cols >= 1 && placement.grid_rows >= 1,
+              "empty routing grid");
+  RoutingResult result;
+  result.grid_cols = placement.grid_cols;
+  result.grid_rows = placement.grid_rows;
+  result.h_usage.assign(
+      placement.grid_rows * (std::max(placement.grid_cols, 1U) - 1), 0);
+  result.v_usage.assign(
+      placement.grid_cols * (std::max(placement.grid_rows, 1U) - 1), 0);
+  GridRouter router(result);
+
+  std::vector<std::uint32_t> cols;
+  std::vector<std::uint32_t> rows;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto pins = h.pins(e);
+    if (pins.size() < 2) continue;
+    cols.clear();
+    rows.clear();
+    for (VertexId v : pins) {
+      cols.push_back(placement.col(v));
+      rows.push_back(placement.row(v));
+    }
+    // Skip fully local nets.
+    bool local = true;
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+      if (cols[i] != cols[0] || rows[i] != rows[0]) {
+        local = false;
+        break;
+      }
+    }
+    if (local) continue;
+    ++result.routed_nets;
+
+    // Star decomposition from the median region (robust Steiner proxy).
+    auto median_of = [](std::vector<std::uint32_t>& xs) {
+      std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+      return xs[xs.size() / 2];
+    };
+    std::vector<std::uint32_t> cs = cols;
+    std::vector<std::uint32_t> rs = rows;
+    const std::uint32_t hub_c = median_of(cs);
+    const std::uint32_t hub_r = median_of(rs);
+    // Route each distinct pin region to the hub once.
+    std::vector<std::uint64_t> seen;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(rows[i]) << 32) | cols[i];
+      if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+      seen.push_back(key);
+      router.route_two_pin(rows[i], cols[i], hub_r, hub_c);
+    }
+  }
+
+  for (std::uint32_t u : result.h_usage) {
+    result.max_usage = std::max(result.max_usage, u);
+  }
+  for (std::uint32_t u : result.v_usage) {
+    result.max_usage = std::max(result.max_usage, u);
+  }
+  return result;
+}
+
+}  // namespace fhp

@@ -1,0 +1,43 @@
+/// \file route.hpp
+/// Pattern-based global routing over the placement grid — the downstream
+/// consumer of a min-cut placement and the reason cutsize is the right
+/// placement objective (Breuer's bounding-box argument, paper §1).
+///
+/// Each net is decomposed into two-pin connections by a star from its
+/// median region; each connection is routed as an L-shape over the grid's
+/// horizontal/vertical boundary edges, choosing the elbow with the lower
+/// current congestion. Outputs per-edge usage, from which wirelength,
+/// peak congestion and overflow are derived.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "place/placement.hpp"
+
+namespace fhp {
+
+/// Routing state over a cols x rows grid.
+struct RoutingResult {
+  std::uint32_t grid_cols = 0;
+  std::uint32_t grid_rows = 0;
+  /// h_usage[r * (cols-1) + c]: wires crossing the vertical boundary
+  /// between regions (r, c) and (r, c+1).
+  std::vector<std::uint32_t> h_usage;
+  /// v_usage[c * (rows-1) + r]: wires crossing the horizontal boundary
+  /// between regions (r, c) and (r+1, c).
+  std::vector<std::uint32_t> v_usage;
+  std::uint64_t wirelength = 0;     ///< total boundary crossings
+  std::uint32_t max_usage = 0;      ///< peak edge congestion
+  EdgeId routed_nets = 0;           ///< nets that needed routing at all
+
+  /// Number of boundary edges whose usage exceeds \p capacity.
+  [[nodiscard]] std::uint32_t overflow(std::uint32_t capacity) const;
+};
+
+/// Routes every net of \p h under \p placement. Requires the placement to
+/// cover the netlist.
+[[nodiscard]] RoutingResult route_global(const Hypergraph& h,
+                                         const Placement& placement);
+
+}  // namespace fhp

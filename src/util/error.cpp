@@ -1,0 +1,21 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fhp::detail {
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line) + ": " + msg);
+}
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "fhp internal invariant violated: %s at %s:%d: %s\n",
+               expr, file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace fhp::detail

@@ -1,0 +1,64 @@
+/// \file error.hpp
+/// Precondition / invariant checking for the fhp library.
+///
+/// Two severities are distinguished, following the library-wide convention
+/// (see DESIGN.md §6):
+///   - FHP_REQUIRE: a *precondition* on a public API. Violations are caller
+///     bugs or bad input; they throw fhp::PreconditionError so that callers
+///     (tools, tests) can recover and report.
+///   - FHP_ASSERT: an *internal invariant*. Violations are library bugs;
+///     they abort with a diagnostic (and are checked in all build types —
+///     the algorithms here are cheap enough that we never trade the checks
+///     for speed in inner loops; hot paths use FHP_DEBUG_ASSERT).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fhp {
+
+/// Thrown when a documented precondition of a public function is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown on malformed external input (file parsing, etc.).
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace fhp
+
+/// Check a public-API precondition; throws fhp::PreconditionError on failure.
+#define FHP_REQUIRE(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::fhp::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)
+
+/// Check an internal invariant; aborts with a diagnostic on failure.
+#define FHP_ASSERT(expr, msg)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::fhp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (false)
+
+/// Invariant check compiled out in NDEBUG builds (for hot inner loops).
+#ifdef NDEBUG
+#define FHP_DEBUG_ASSERT(expr, msg) \
+  do {                              \
+  } while (false)
+#else
+#define FHP_DEBUG_ASSERT(expr, msg) FHP_ASSERT(expr, msg)
+#endif

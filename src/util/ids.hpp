@@ -1,0 +1,28 @@
+/// \file ids.hpp
+/// Shared index types for hypergraphs and graphs.
+///
+/// Vertices and (hyper)edges are dense 32-bit indices into CSR arrays.
+/// 32 bits comfortably covers the netlist sizes this library targets
+/// (the largest instance in the reproduced paper has ~3.5k nets) while
+/// keeping adjacency arrays cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fhp {
+
+/// Index of a module (hypergraph vertex) or graph vertex.
+using VertexId = std::uint32_t;
+/// Index of a signal net (hyperedge) or graph edge.
+using EdgeId = std::uint32_t;
+/// Additive weight type for modules/nets (e.g. cell area, net criticality).
+using Weight = std::int64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+}  // namespace fhp

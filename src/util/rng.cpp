@@ -1,0 +1,54 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace fhp {
+
+std::uint64_t Rng::next_geometric(double p) noexcept {
+  FHP_DEBUG_ASSERT(p > 0.0 && p <= 1.0, "geometric parameter out of range");
+  if (p >= 1.0) return 1;
+  // Inversion method: ceil(log(U) / log(1-p)) with U in (0,1).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double value = std::ceil(std::log(u) / std::log1p(-p));
+  if (value < 1.0) return 1;
+  if (value > 1e18) return static_cast<std::uint64_t>(1e18);
+  return static_cast<std::uint64_t>(value);
+}
+
+std::vector<std::uint32_t> Rng::sample_distinct(std::uint32_t n,
+                                                std::uint32_t k) {
+  FHP_REQUIRE(k <= n, "cannot sample " + std::to_string(k) +
+                          " distinct values from a universe of " +
+                          std::to_string(n));
+  std::vector<std::uint32_t> result;
+  result.reserve(k);
+  if (k == 0) return result;
+  // For dense requests a shuffle of the whole universe is cheaper and has
+  // no hash-set overhead.
+  if (k > n / 2) {
+    std::vector<std::uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0U);
+    shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  // Floyd's algorithm, then a final shuffle to make the *order* uniform too.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(next_below(j + 1));
+    if (seen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      seen.insert(j);
+      result.push_back(j);
+    }
+  }
+  shuffle(result);
+  return result;
+}
+
+}  // namespace fhp

@@ -1,0 +1,125 @@
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for the fhp library.
+///
+/// Every stochastic algorithm in this library takes an explicit 64-bit seed
+/// so that runs are reproducible bit-for-bit across machines. We implement
+/// xoshiro256** seeded through SplitMix64 (the reference recommendation)
+/// rather than relying on std::mt19937, whose seeding and distribution
+/// implementations are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fhp {
+
+/// SplitMix64 step: used to expand a single seed into xoshiro state, and
+/// handy on its own for cheap hash-style mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience sampling helpers.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can also be plugged
+/// into standard algorithms (std::shuffle, distributions) if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator whose entire state is derived from \p seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    FHP_DEBUG_ASSERT(bound > 0, "next_below requires positive bound");
+    // 128-bit multiply; rejection only in the rare biased band.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed range [lo, hi]. Requires lo <= hi.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    FHP_DEBUG_ASSERT(lo <= hi, "next_in requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability \p p (clamped to [0,1]).
+  [[nodiscard]] bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Geometric sample >= 1 with success probability \p p in (0, 1]:
+  /// the number of trials up to and including the first success.
+  [[nodiscard]] std::uint64_t next_geometric(double p) noexcept;
+
+  /// Fisher–Yates shuffle of \p items.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples \p k distinct values from [0, n) in uniformly random order.
+  /// Requires k <= n. O(k) expected time via Floyd's algorithm for small k,
+  /// falling back to a shuffle when k is a large fraction of n.
+  [[nodiscard]] std::vector<std::uint32_t> sample_distinct(std::uint32_t n,
+                                                           std::uint32_t k);
+
+  /// Derives an independent child generator; useful for giving each of a
+  /// family of tasks its own stream from one master seed.
+  [[nodiscard]] Rng split() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace fhp

@@ -1,0 +1,66 @@
+/// \file stats.hpp
+/// Small descriptive-statistics helpers shared by generators, benches and
+/// the experiment harness (means, quantiles, histogram summaries, and a
+/// least-squares growth-exponent fit used by the O(n^2) scaling bench).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fhp {
+
+/// Running mean/variance accumulator (Welford). Numerically stable.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations added so far.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Mean of the observations (0 when empty).
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 with fewer than two observations).
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+  /// Smallest observation seen (+inf when empty).
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observation seen (-inf when empty).
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of \p xs; 0 when empty.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation of \p xs; 0 with fewer than two values.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation quantile (q in [0,1]) of a copy of \p xs.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median shortcut.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Fits y = a * x^b by least squares in log-log space and returns the
+/// exponent b. Used to verify the O(n^2) runtime claim empirically.
+/// Requires xs.size() == ys.size() >= 2 and strictly positive values.
+[[nodiscard]] double fit_growth_exponent(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+/// Builds a fixed-width integer histogram over [lo, hi] with \p bins bins;
+/// values outside the range are clamped into the end bins.
+[[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> xs,
+                                                 double lo, double hi,
+                                                 std::size_t bins);
+
+}  // namespace fhp

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fhp {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FHP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  FHP_REQUIRE(cells.size() <= headers_.size(),
+              "row has more cells than the table has columns");
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void AsciiTable::add_separator() { pending_separator_ = true; }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&widths]() {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto emit_row = [&widths](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::string out = rule();
+  out += emit_row(headers_);
+  out += rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) out += rule();
+    out += emit_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string AsciiTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace fhp

@@ -1,0 +1,42 @@
+/// \file table.hpp
+/// Minimal ASCII table renderer used by the benchmark harness to print the
+/// reproduced paper tables in a shape directly comparable to the original.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fhp {
+
+/// Column-aligned ASCII table. Rows are added as vectors of pre-formatted
+/// cells; the renderer right-pads to the widest cell per column.
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a data row. Short rows are padded with empty cells; rows longer
+  /// than the header are a precondition violation.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Renders the table (with a header separator) to a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Formats a double with fixed precision — convenience for bench code.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace fhp

@@ -1,0 +1,31 @@
+/// \file timer.hpp
+/// Wall-clock timing helpers used by the benchmark harness and the
+/// CPU-ratio rows of the reproduced tables.
+#pragma once
+
+#include <chrono>
+
+namespace fhp {
+
+/// Simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fhp

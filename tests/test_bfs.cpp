@@ -1,0 +1,135 @@
+#include "graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+Graph path_graph(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path_graph(6);
+  const BfsResult r = bfs(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(r.distance[v], v);
+  EXPECT_EQ(r.farthest, 5U);
+  EXPECT_EQ(r.depth, 5U);
+  EXPECT_EQ(r.reached, 6U);
+}
+
+TEST(Bfs, MidpointSource) {
+  const Graph g = path_graph(7);
+  const BfsResult r = bfs(g, 3);
+  EXPECT_EQ(r.depth, 3U);
+  EXPECT_TRUE(r.farthest == 0U || r.farthest == 6U);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const Graph g = Graph::from_edges(4, {{0, 1}});
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.distance[2], kUnreachable);
+  EXPECT_EQ(r.distance[3], kUnreachable);
+  EXPECT_EQ(r.reached, 2U);
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW((void)bfs(g, 3), PreconditionError);
+}
+
+TEST(Bfs, SingleVertex) {
+  const Graph g = Graph::from_edges(1, {});
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.depth, 0U);
+  EXPECT_EQ(r.farthest, 0U);
+}
+
+TEST(LongestPath, FindsPathDiameterFromAnyStart) {
+  const Graph g = path_graph(10);
+  for (VertexId start = 0; start < 10; ++start) {
+    const DiameterPair pair = longest_path_from(g, start, 2);
+    EXPECT_EQ(pair.distance, 9U) << "start " << start;
+    EXPECT_TRUE((pair.s == 0U && pair.t == 9U) ||
+                (pair.s == 9U && pair.t == 0U));
+  }
+}
+
+TEST(LongestPath, SingleSweepFromEndpoint) {
+  const Graph g = path_graph(8);
+  const DiameterPair pair = longest_path_from(g, 0, 1);
+  EXPECT_EQ(pair.s, 0U);
+  EXPECT_EQ(pair.t, 7U);
+  EXPECT_EQ(pair.distance, 7U);
+}
+
+TEST(LongestPath, RandomizedLowerBoundsDiameter) {
+  Rng rng(5);
+  const Graph g = test::connected_random_graph(60, 0.05, 11);
+  const DiameterPair pair = random_longest_path(g, rng);
+  // d(s, t) is always a valid distance, so it lower-bounds the diameter
+  // and the endpoints must realize it.
+  const BfsResult check = bfs(g, pair.s);
+  EXPECT_EQ(check.distance[pair.t], pair.distance);
+}
+
+TEST(LongestPath, RequiresPositiveSweeps) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW((void)longest_path_from(g, 0, 0), PreconditionError);
+}
+
+TEST(BidirectionalCut, SplitsPathInHalf) {
+  const Graph g = path_graph(10);
+  const BidirectionalCut cut = bidirectional_bfs_cut(g, 0, 9);
+  EXPECT_EQ(cut.reached_s + cut.reached_t, 10U);
+  EXPECT_EQ(cut.reached_s, 5U);
+  EXPECT_EQ(cut.reached_t, 5U);
+  // Sides are contiguous on a path.
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(cut.side[v], 0);
+  for (VertexId v = 5; v < 10; ++v) EXPECT_EQ(cut.side[v], 1);
+}
+
+TEST(BidirectionalCut, EveryVertexOfComponentClaimed) {
+  const Graph g = test::connected_random_graph(80, 0.04, 17);
+  const BidirectionalCut cut = bidirectional_bfs_cut(g, 0, 79);
+  for (VertexId v = 0; v < 80; ++v) EXPECT_NE(cut.side[v], 2);
+  EXPECT_EQ(cut.reached_s + cut.reached_t, 80U);
+}
+
+TEST(BidirectionalCut, OtherComponentsUnclaimed) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {2, 3}});
+  const BidirectionalCut cut = bidirectional_bfs_cut(g, 0, 1);
+  EXPECT_EQ(cut.side[0], 0);
+  EXPECT_EQ(cut.side[1], 1);
+  EXPECT_EQ(cut.side[2], 2);
+  EXPECT_EQ(cut.side[4], 2);
+}
+
+TEST(BidirectionalCut, RegionsStayBalancedOnStar) {
+  // Star with long tail: seeds at tail end and a leaf. The smaller-region-
+  // first rule keeps counts within a factor instead of one side swallowing
+  // everything.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  // hub = 0, leaves 1..20, tail 21..25
+  for (VertexId l = 1; l <= 20; ++l) edges.emplace_back(0, l);
+  edges.emplace_back(0, 21);
+  for (VertexId t = 21; t < 25; ++t) edges.emplace_back(t, t + 1);
+  const Graph g = Graph::from_edges(26, edges);
+  const BidirectionalCut cut = bidirectional_bfs_cut(g, 25, 1);
+  EXPECT_EQ(cut.reached_s + cut.reached_t, 26U);
+  EXPECT_GT(cut.reached_s, 0U);
+  EXPECT_GT(cut.reached_t, 0U);
+}
+
+TEST(BidirectionalCut, Preconditions) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW((void)bidirectional_bfs_cut(g, 0, 0), PreconditionError);
+  EXPECT_THROW((void)bidirectional_bfs_cut(g, 0, 4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fhp

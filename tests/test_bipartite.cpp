@@ -1,0 +1,65 @@
+#include "graph/bipartite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Bipartite, EvenCycleIsBipartite) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_TRUE(is_bipartite(g));
+  const auto coloring = two_color(g);
+  ASSERT_TRUE(coloring.has_value());
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      EXPECT_NE((*coloring)[u], (*coloring)[v]);
+    }
+  }
+}
+
+TEST(Bipartite, OddCycleIsNot) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_FALSE(is_bipartite(g));
+  EXPECT_FALSE(two_color(g).has_value());
+}
+
+TEST(Bipartite, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(is_bipartite(Graph{}));
+  EXPECT_TRUE(is_bipartite(Graph::from_edges(5, {})));
+}
+
+TEST(Bipartite, DisconnectedMixOddCycleDetected) {
+  // Bipartite component + triangle.
+  const Graph g =
+      Graph::from_edges(6, {{0, 1}, {2, 3}, {3, 4}, {4, 2}, {1, 5}});
+  EXPECT_FALSE(is_bipartite(g));
+}
+
+TEST(Bipartite, RandomBipartiteGraphsAccepted) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto [g, side] = test::random_bipartite_graph(12, 15, 0.3, seed);
+    const auto coloring = two_color(g);
+    ASSERT_TRUE(coloring.has_value());
+    // The computed coloring must agree with the construction side on every
+    // edge (colors may be swapped per component; adjacency check suffices).
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v : g.neighbors(u)) {
+        EXPECT_NE((*coloring)[u], (*coloring)[v]);
+        EXPECT_NE(side[u], side[v]);
+      }
+    }
+  }
+}
+
+TEST(Bipartite, FirstVertexOfComponentGetsColorZero) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto coloring = two_color(g);
+  ASSERT_TRUE(coloring.has_value());
+  EXPECT_EQ((*coloring)[0], 0);
+  EXPECT_EQ((*coloring)[2], 0);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,56 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Components, EmptyGraph) {
+  const Components c = connected_components(Graph{});
+  EXPECT_EQ(c.count(), 0U);
+  EXPECT_EQ(c.largest(), 0U);
+}
+
+TEST(Components, SingleComponent) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 1U);
+  EXPECT_EQ(c.size[0], 4U);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, MultipleComponentsAndIsolated) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count(), 4U);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[4], c.label[5]);
+}
+
+TEST(Components, LabelsAreDense) {
+  const Graph g = Graph::from_edges(5, {{0, 4}, {1, 3}});
+  const Components c = connected_components(g);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_LT(c.label[v], c.count());
+  VertexId total = 0;
+  for (VertexId s : c.size) total += s;
+  EXPECT_EQ(total, 5U);
+}
+
+TEST(Components, LargestPicksBiggest) {
+  const Graph g = Graph::from_edges(7, {{0, 1}, {2, 3}, {3, 4}, {4, 5}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.size[c.largest()], 4U);
+}
+
+TEST(Components, ConnectedRandomGraphIsConnected) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    EXPECT_TRUE(is_connected(test::connected_random_graph(50, 0.02, seed)));
+  }
+}
+
+}  // namespace
+}  // namespace fhp

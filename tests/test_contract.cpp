@@ -1,0 +1,84 @@
+#include "hypergraph/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "partition/partition.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Contract, PairMergeOnChain) {
+  // Chain of 6 modules; contract pairs (0,1), (2,3), (4,5).
+  const Hypergraph h = test::path_hypergraph(6);
+  const ContractionResult r = contract(h, {0, 0, 1, 1, 2, 2}, 3);
+  EXPECT_EQ(r.hypergraph.num_vertices(), 3U);
+  // Intra-pair nets vanish; the two inter-pair nets remain.
+  EXPECT_EQ(r.hypergraph.num_edges(), 2U);
+  EXPECT_EQ(r.hypergraph.vertex_weight(0), 2);
+  r.hypergraph.validate();
+}
+
+TEST(Contract, ParallelNetsMergeWithSummedWeight) {
+  HypergraphBuilder b;
+  b.add_vertices(4);
+  b.add_edge({0, 2}, 3);
+  b.add_edge({1, 3}, 4);  // becomes parallel to the first after contraction
+  const Hypergraph h = std::move(b).build();
+  const ContractionResult r = contract(h, {0, 0, 1, 1}, 2);
+  ASSERT_EQ(r.hypergraph.num_edges(), 1U);
+  EXPECT_EQ(r.hypergraph.edge_weight(0), 7);
+}
+
+TEST(Contract, InternalNetsDropped) {
+  const Hypergraph h = Hypergraph::from_edges(3, {{0, 1, 2}});
+  const ContractionResult r = contract(h, {0, 0, 0}, 1);
+  EXPECT_EQ(r.hypergraph.num_edges(), 0U);
+  EXPECT_EQ(r.hypergraph.num_vertices(), 1U);
+}
+
+TEST(Contract, IdentityContractionPreservesStructure) {
+  const Hypergraph h = test::figure4_hypergraph();
+  std::vector<VertexId> identity(h.num_vertices());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) identity[v] = v;
+  const ContractionResult r = contract(h, identity, h.num_vertices());
+  EXPECT_EQ(r.hypergraph.num_vertices(), h.num_vertices());
+  EXPECT_EQ(r.hypergraph.num_edges(), h.num_edges());
+  EXPECT_EQ(r.hypergraph.num_pins(), h.num_pins());
+}
+
+TEST(Contract, CutIsPreservedUnderProjection) {
+  // Any coarse cut, projected to the fine level, has the same cut weight
+  // (parallel-net merging keeps weights honest).
+  const Hypergraph h = test::two_cluster_hypergraph(6, 3);
+  // Contract within clusters: 3 clusters per side.
+  std::vector<VertexId> cluster(h.num_vertices());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) cluster[v] = v / 2;
+  const ContractionResult r = contract(h, cluster, 6);
+  std::vector<std::uint8_t> coarse_sides{0, 0, 0, 1, 1, 1};
+  const Bipartition coarse(r.hypergraph, coarse_sides);
+  const auto fine_sides = project_sides(r.cluster, coarse_sides);
+  const Bipartition fine(h, fine_sides);
+  EXPECT_EQ(coarse.cut_weight(), fine.cut_weight());
+}
+
+TEST(Contract, Preconditions) {
+  const Hypergraph h = test::path_hypergraph(3);
+  EXPECT_THROW((void)contract(h, {0, 1}, 2), PreconditionError);
+  EXPECT_THROW((void)contract(h, {0, 1, 2}, 2), PreconditionError);
+  EXPECT_THROW((void)contract(h, {0, 0, 0}, 0), PreconditionError);
+}
+
+TEST(ProjectSides, MapsThroughClusters) {
+  const std::vector<VertexId> cluster{0, 1, 1, 0, 2};
+  const std::vector<std::uint8_t> coarse{1, 0, 1};
+  const auto fine = project_sides(cluster, coarse);
+  EXPECT_EQ(fine, (std::vector<std::uint8_t>{1, 0, 0, 1, 1}));
+}
+
+TEST(ProjectSides, RejectsOutOfRangeCluster) {
+  EXPECT_THROW((void)project_sides({0, 5}, {0, 1}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fhp

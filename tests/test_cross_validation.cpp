@@ -1,0 +1,129 @@
+/// Cross-validation: every partitioner in the library against the exact
+/// branch-and-bound optimum on small instances from four different
+/// families. Guards against silent quality regressions anywhere in the
+/// stack (parameterized over family x seed).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "baselines/exact.hpp"
+#include "baselines/flow.hpp"
+#include "baselines/fm.hpp"
+#include "baselines/kl.hpp"
+#include "baselines/multilevel.hpp"
+#include "baselines/sa.hpp"
+#include "core/algorithm1.hpp"
+#include "gen/circuit.hpp"
+#include "gen/grid.hpp"
+#include "gen/planted.hpp"
+#include "gen/random_hypergraph.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+enum class Family { kRandom, kPlanted, kGrid, kCircuit };
+
+Hypergraph make_small_instance(Family family, std::uint64_t seed) {
+  switch (family) {
+    case Family::kRandom: {
+      RandomHypergraphParams params;
+      params.num_vertices = 14;
+      params.num_edges = 22;
+      params.max_edge_size = 4;
+      params.max_degree = 6;
+      return random_hypergraph(params, seed);
+    }
+    case Family::kPlanted: {
+      PlantedParams params;
+      params.num_vertices = 14;
+      params.num_edges = 20;
+      params.planted_cut = 2;
+      params.max_edge_size = 3;
+      return planted_instance(params, seed).hypergraph;
+    }
+    case Family::kGrid: {
+      GridParams params;
+      params.rows = 3;
+      params.cols = 5;
+      params.segment_fraction = 0.2;
+      return grid_circuit(params, seed);
+    }
+    case Family::kCircuit:
+      return generate_circuit(table2_params(15, 22, Technology::kPcb), seed);
+  }
+  return {};
+}
+
+class CrossValidation
+    : public testing::TestWithParam<std::tuple<Family, std::uint64_t>> {};
+
+TEST_P(CrossValidation, HeuristicsNearTheExactOptimum) {
+  const auto [family, seed] = GetParam();
+  const Hypergraph h = make_small_instance(family, seed);
+  if (h.num_vertices() < 2 || h.num_edges() == 0) GTEST_SKIP();
+
+  // Two references: the unconstrained minimum (what free-balance methods
+  // chase) and the near-bisection minimum (what the balanced methods
+  // chase — comparing them to the unconstrained optimum would punish
+  // them for honoring their balance constraint).
+  const EdgeId optimum_any = exact_bipartition(h).metrics.cut_edges;
+  ExactOptions balanced_opt;
+  balanced_opt.max_cardinality_imbalance = 2;
+  const EdgeId optimum_balanced =
+      exact_bipartition(h, balanced_opt).metrics.cut_edges;
+
+  auto check = [&](const std::vector<std::uint8_t>& sides, EdgeId reference,
+                   EdgeId slack, const std::string& name) {
+    const EdgeId cut = test::count_cut_edges(h, sides);
+    EXPECT_GE(cut, optimum_any) << name;
+    EXPECT_LE(cut, reference + slack) << name << " too far from optimum";
+  };
+
+  {
+    Algorithm1Options o;
+    o.seed = seed;
+    o.large_edge_threshold = 0;
+    o.consider_floating_split = true;
+    check(algorithm1(h, o).sides, optimum_balanced, 2, "algorithm1");
+  }
+  {
+    FmOptions o;
+    o.seed = seed;
+    check(fiduccia_mattheyses(h, o).sides, optimum_balanced, 4, "fm");
+  }
+  {
+    KlOptions o;
+    o.seed = seed;
+    check(kernighan_lin(h, o).sides, optimum_balanced, 6, "kl");
+  }
+  {
+    SaOptions o;
+    o.seed = seed;
+    o.moves_per_temperature = 200;
+    o.max_temperatures = 40;
+    check(simulated_annealing(h, o).sides, optimum_balanced, 3, "sa");
+  }
+  {
+    FlowOptions o;
+    o.seed = seed;
+    o.balance_fraction = 1.0;
+    check(flow_bipartition(h, o).sides, optimum_any, 2, "flow");
+  }
+  {
+    MultilevelOptions o;
+    o.seed = seed;
+    check(multilevel_bipartition(h, o).sides, optimum_balanced, 4,
+          "multilevel");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, CrossValidation,
+    testing::Combine(testing::Values(Family::kRandom, Family::kPlanted,
+                                     Family::kGrid, Family::kCircuit),
+                     testing::Values<std::uint64_t>(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,60 @@
+#include "graph/diameter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+Graph path_graph(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle_graph(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+TEST(Diameter, PathAndCycle) {
+  EXPECT_EQ(exact_diameter(path_graph(10)), 9U);
+  EXPECT_EQ(exact_diameter(cycle_graph(10)), 5U);
+  EXPECT_EQ(exact_diameter(cycle_graph(11)), 5U);
+}
+
+TEST(Diameter, SingleVertexAndEmpty) {
+  EXPECT_EQ(exact_diameter(Graph::from_edges(1, {})), 0U);
+  EXPECT_EQ(exact_diameter(Graph{}), 0U);
+}
+
+TEST(Diameter, EstimateNeverExceedsExact) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = test::connected_random_graph(60, 0.05, seed);
+    Rng rng(seed);
+    const std::uint32_t exact = exact_diameter(g);
+    const std::uint32_t estimate = estimate_diameter(g, rng, 4);
+    EXPECT_LE(estimate, exact);
+    // Double-sweep estimates are empirically very tight on such graphs.
+    EXPECT_GE(estimate + 2, exact);
+  }
+}
+
+TEST(Diameter, EstimateExactOnTrees) {
+  // Double sweep is provably exact on trees.
+  const Graph g = path_graph(30);
+  Rng rng(3);
+  EXPECT_EQ(estimate_diameter(g, rng, 1), 29U);
+}
+
+TEST(Diameter, RequiresPositiveStarts) {
+  Rng rng(1);
+  const Graph g = path_graph(3);
+  EXPECT_THROW((void)estimate_diameter(g, rng, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fhp

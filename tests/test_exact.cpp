@@ -1,0 +1,118 @@
+#include "baselines/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.hpp"
+#include "gen/planted.hpp"
+#include "gen/random_hypergraph.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Exact, ChainOptimum) {
+  const Hypergraph h = test::path_hypergraph(10);
+  const BaselineResult r = exact_bipartition(h);
+  EXPECT_EQ(r.metrics.cut_weight, 1);
+  EXPECT_TRUE(r.metrics.proper);
+}
+
+TEST(Exact, MatchesBruteForceEnumeration) {
+  RandomHypergraphParams params;
+  params.num_vertices = 12;
+  params.num_edges = 18;
+  params.max_edge_size = 4;
+  params.max_degree = 6;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Hypergraph h = random_hypergraph(params, seed);
+    if (h.num_edges() == 0) continue;
+    const BaselineResult r = exact_bipartition(h);
+    EXPECT_EQ(r.metrics.cut_edges, test::brute_force_min_cut(h))
+        << "seed " << seed;
+  }
+}
+
+TEST(Exact, BalancedVariantMatchesConstrainedBruteForce) {
+  RandomHypergraphParams params;
+  params.num_vertices = 11;
+  params.num_edges = 16;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Hypergraph h = random_hypergraph(params, seed);
+    ExactOptions options;
+    options.max_cardinality_imbalance = 1;
+    const BaselineResult r = exact_bipartition(h, options);
+    EXPECT_LE(r.metrics.cardinality_imbalance, 1U);
+    EXPECT_EQ(r.metrics.cut_edges, test::brute_force_min_cut(h, 1))
+        << "seed " << seed;
+  }
+}
+
+TEST(Exact, WeightedCutsMinimizeWeight) {
+  HypergraphBuilder b;
+  b.add_vertices(5);
+  b.add_edge({0, 1}, 10);
+  b.add_edge({1, 2}, 2);
+  b.add_edge({2, 3}, 10);
+  b.add_edge({3, 4}, 3);
+  const Hypergraph h = std::move(b).build();
+  const BaselineResult r = exact_bipartition(h);
+  EXPECT_EQ(r.metrics.cut_weight, 2);
+}
+
+TEST(Exact, FigureFourOptimumIsTwo) {
+  ExactOptions options;
+  options.max_cardinality_imbalance = 2;
+  const BaselineResult r =
+      exact_bipartition(test::figure4_hypergraph(), options);
+  EXPECT_EQ(r.metrics.cut_edges, 2U);
+}
+
+TEST(Exact, CertifiesAlgorithm1OnPlantedInstances) {
+  PlantedParams params;
+  params.num_vertices = 20;
+  params.num_edges = 30;
+  params.planted_cut = 2;
+  params.max_edge_size = 3;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const PlantedInstance inst = planted_instance(params, seed);
+    Algorithm1Options a1;
+    a1.large_edge_threshold = 0;
+    a1.consider_floating_split = true;
+    const Algorithm1Result heuristic = algorithm1(inst.hypergraph, a1);
+    const BaselineResult exact = exact_bipartition(inst.hypergraph);
+    EXPECT_GE(heuristic.metrics.cut_edges, exact.metrics.cut_edges);
+    EXPECT_LE(heuristic.metrics.cut_edges, exact.metrics.cut_edges + 1)
+        << "seed " << seed;
+  }
+}
+
+TEST(Exact, Preconditions) {
+  HypergraphBuilder one;
+  one.add_vertex();
+  EXPECT_THROW((void)exact_bipartition(std::move(one).build()),
+               PreconditionError);
+
+  const Hypergraph big = test::path_hypergraph(64);
+  EXPECT_THROW((void)exact_bipartition(big), PreconditionError);
+
+  const Hypergraph odd = test::path_hypergraph(5);
+  ExactOptions options;
+  options.max_cardinality_imbalance = 0;  // impossible for odd n
+  EXPECT_THROW((void)exact_bipartition(odd, options), PreconditionError);
+}
+
+TEST(Exact, NodeBudgetEnforced) {
+  const Hypergraph h = test::path_hypergraph(24);
+  ExactOptions options;
+  options.node_limit = 10;
+  EXPECT_THROW((void)exact_bipartition(h, options), PreconditionError);
+}
+
+TEST(Exact, ReportsSearchEffort) {
+  const Hypergraph h = test::path_hypergraph(8);
+  const BaselineResult r = exact_bipartition(h);
+  EXPECT_GT(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,99 @@
+#include "baselines/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.hpp"
+#include "gen/circuit.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(FlowBaseline, SolvesTwoClusters) {
+  const Hypergraph h = test::two_cluster_hypergraph(8, 2);
+  const BaselineResult r = flow_bipartition(h);
+  EXPECT_EQ(r.metrics.cut_edges, 2U);
+  EXPECT_TRUE(r.metrics.proper);
+}
+
+TEST(FlowBaseline, ChainMinCutIsOne) {
+  const Hypergraph h = test::path_hypergraph(30);
+  const BaselineResult r = flow_bipartition(h);
+  EXPECT_EQ(r.metrics.cut_edges, 1U);
+}
+
+TEST(FlowBaseline, PerPairOptimalityOnSmallInstances) {
+  // A flow cut can never beat the unconstrained exact optimum, and for a
+  // far-apart pair on these instances it should reach it.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph h =
+        generate_circuit(table2_params(18, 26, Technology::kPcb), seed);
+    FlowOptions options;
+    options.seed = seed;
+    options.pairs = 6;
+    options.balance_fraction = 1.0;  // accept any proper cut
+    const BaselineResult flow = flow_bipartition(h, options);
+    const BaselineResult exact = exact_bipartition(h);
+    EXPECT_GE(flow.metrics.cut_weight, exact.metrics.cut_weight);
+    EXPECT_LE(flow.metrics.cut_weight, exact.metrics.cut_weight + 2)
+        << "seed " << seed;
+  }
+}
+
+TEST(FlowBaseline, RespectsBalancePreference) {
+  // Dumbbell with a cheap pendant: the globally minimum cut slices off
+  // one module; with a balance tolerance the flow partitioner must prefer
+  // the 2-net bridge cut between the clusters.
+  const Hypergraph h = test::two_cluster_hypergraph(6, 2);
+  FlowOptions options;
+  options.balance_fraction = 0.34;
+  options.pairs = 10;
+  const BaselineResult r = flow_bipartition(h, options);
+  EXPECT_LE(r.metrics.cardinality_imbalance, 4U);
+}
+
+TEST(FlowBaseline, WeightedNetsRespected) {
+  HypergraphBuilder b;
+  b.add_vertices(4);
+  b.add_edge({0, 1}, 10);
+  b.add_edge({1, 2}, 1);
+  b.add_edge({2, 3}, 10);
+  const Hypergraph h = std::move(b).build();
+  FlowOptions options;
+  options.balance_fraction = 1.0;
+  const BaselineResult r = flow_bipartition(h, options);
+  EXPECT_EQ(r.metrics.cut_weight, 1);
+}
+
+TEST(FlowBaseline, HandlesIsolatedModules) {
+  HypergraphBuilder b;
+  b.add_vertices(6);
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  const Hypergraph h = std::move(b).build();
+  const BaselineResult r = flow_bipartition(h);
+  EXPECT_TRUE(r.metrics.proper);
+}
+
+TEST(FlowBaseline, DeterministicPerSeed) {
+  const Hypergraph h =
+      generate_circuit(table2_params(60, 110, Technology::kHybrid), 4);
+  FlowOptions options;
+  options.seed = 9;
+  EXPECT_EQ(flow_bipartition(h, options).sides,
+            flow_bipartition(h, options).sides);
+}
+
+TEST(FlowBaseline, Preconditions) {
+  HypergraphBuilder b;
+  b.add_vertex();
+  const Hypergraph one = std::move(b).build();
+  EXPECT_THROW((void)flow_bipartition(one), PreconditionError);
+  const Hypergraph h = test::path_hypergraph(4);
+  FlowOptions options;
+  options.pairs = 0;
+  EXPECT_THROW((void)flow_bipartition(h, options), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fhp

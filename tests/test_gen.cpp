@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/intersection.hpp"
+#include "gen/circuit.hpp"
+#include "gen/planted.hpp"
+#include "gen/random_hypergraph.hpp"
+#include "graph/components.hpp"
+#include "graph/diameter.hpp"
+#include "hypergraph/stats.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(RandomHypergraph, RespectsStructuralBounds) {
+  RandomHypergraphParams params;
+  params.num_vertices = 80;
+  params.num_edges = 120;
+  params.min_edge_size = 2;
+  params.max_edge_size = 5;
+  params.max_degree = 4;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Hypergraph h = random_hypergraph(params, seed);
+    h.validate();
+    EXPECT_EQ(h.num_vertices(), 80U);
+    EXPECT_LE(h.num_edges(), 120U);
+    for (EdgeId e = 0; e < h.num_edges(); ++e) {
+      EXPECT_GE(h.edge_size(e), 2U);
+      EXPECT_LE(h.edge_size(e), 5U);
+    }
+    EXPECT_LE(h.max_degree(), 4U);
+  }
+}
+
+TEST(RandomHypergraph, UnboundedDegreeAllowed) {
+  RandomHypergraphParams params;
+  params.num_vertices = 20;
+  params.num_edges = 100;
+  params.max_degree = 0;
+  const Hypergraph h = random_hypergraph(params, 1);
+  EXPECT_GT(h.num_edges(), 80U);
+}
+
+TEST(RandomHypergraph, DeterministicPerSeed) {
+  RandomHypergraphParams params;
+  const Hypergraph a = random_hypergraph(params, 5);
+  const Hypergraph b = random_hypergraph(params, 5);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_pins(), b.num_pins());
+}
+
+TEST(RandomHypergraph, Preconditions) {
+  RandomHypergraphParams params;
+  params.min_edge_size = 1;
+  EXPECT_THROW((void)random_hypergraph(params, 1), PreconditionError);
+  params.min_edge_size = 5;
+  params.max_edge_size = 3;
+  EXPECT_THROW((void)random_hypergraph(params, 1), PreconditionError);
+}
+
+TEST(Planted, GroundTruthCutMatches) {
+  PlantedParams params;
+  params.num_vertices = 100;
+  params.num_edges = 150;
+  params.planted_cut = 5;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const PlantedInstance inst = planted_instance(params, seed);
+    inst.hypergraph.validate();
+    // Realized planted cut equals the count of nets crossing the hidden
+    // bisection, and stays at most the requested budget.
+    EXPECT_EQ(inst.planted_cut,
+              test::count_cut_edges(inst.hypergraph, inst.planted_sides));
+    EXPECT_LE(inst.planted_cut, 5U);
+    EXPECT_GE(inst.planted_cut, 1U);  // whp all 5 survive; >= 1 surely
+  }
+}
+
+TEST(Planted, ZeroCutIsDisconnectedDual) {
+  PlantedParams params;
+  params.num_vertices = 60;
+  params.num_edges = 90;
+  params.planted_cut = 0;
+  const PlantedInstance inst = planted_instance(params, 3);
+  EXPECT_EQ(inst.planted_cut, 0U);
+  const Graph g = intersection_graph(inst.hypergraph);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Planted, HalvesAreEqualSize) {
+  PlantedParams params;
+  params.num_vertices = 100;
+  const PlantedInstance inst = planted_instance(params, 1);
+  VertexId left = 0;
+  for (std::uint8_t s : inst.planted_sides) {
+    if (s == 0) ++left;
+  }
+  EXPECT_EQ(left, 50U);
+}
+
+TEST(Planted, DegreeCapRespected) {
+  PlantedParams params;
+  params.num_vertices = 80;
+  params.num_edges = 200;
+  params.max_degree = 5;
+  const PlantedInstance inst = planted_instance(params, 7);
+  EXPECT_LE(inst.hypergraph.max_degree(), 5U);
+}
+
+TEST(Planted, Preconditions) {
+  PlantedParams params;
+  params.planted_cut = 1000;
+  params.num_edges = 10;
+  EXPECT_THROW((void)planted_instance(params, 1), PreconditionError);
+}
+
+TEST(Circuit, PresetsProduceRequestedShape) {
+  for (Technology tech : {Technology::kPcb, Technology::kStandardCell,
+                          Technology::kGateArray, Technology::kHybrid}) {
+    const CircuitParams params = params_for(tech);
+    const Hypergraph h = generate_circuit(params, 42);
+    h.validate();
+    EXPECT_EQ(h.num_vertices(), params.num_modules);
+    EXPECT_LE(h.num_edges(), params.num_nets);
+    EXPECT_GT(h.num_edges(), params.num_nets / 2);
+    const HypergraphStats s = compute_stats(h);
+    EXPECT_GE(s.avg_edge_size, 2.0);
+    EXPECT_LT(s.avg_edge_size, 8.0);
+  }
+}
+
+TEST(Circuit, BusNetsPresent) {
+  CircuitParams params = standard_cell_params();
+  params.bus_fraction = 0.05;
+  const Hypergraph h = generate_circuit(params, 9);
+  EXPECT_GE(h.max_edge_size(), params.bus_size_min);
+}
+
+TEST(Circuit, WeightsSpreadWhenConfigured) {
+  const Hypergraph unit = generate_circuit(pcb_params(), 3);
+  for (VertexId v = 0; v < unit.num_vertices(); ++v) {
+    EXPECT_EQ(unit.vertex_weight(v), 1);
+  }
+  const Hypergraph spread = generate_circuit(standard_cell_params(), 3);
+  bool any_heavy = false;
+  for (VertexId v = 0; v < spread.num_vertices(); ++v) {
+    if (spread.vertex_weight(v) > 1) any_heavy = true;
+  }
+  EXPECT_TRUE(any_heavy);
+}
+
+TEST(Circuit, LocalityRaisesIntersectionDiameter) {
+  // The paper's closing observation: real (hierarchical) netlists have
+  // larger intersection-graph diameter than random ones of similar size.
+  CircuitParams local = standard_cell_params(0.4);
+  local.locality = 0.9;
+  CircuitParams global = local;
+  global.locality = 0.0;
+  global.window_fraction = 1.0;  // every net drawn design-wide
+  RunningStats local_diam;
+  RunningStats global_diam;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng_l(seed);
+    Rng rng_g(seed);
+    const Graph gl = intersection_graph(generate_circuit(local, seed));
+    const Graph gg = intersection_graph(generate_circuit(global, seed));
+    local_diam.add(estimate_diameter(gl, rng_l, 4));
+    global_diam.add(estimate_diameter(gg, rng_g, 4));
+  }
+  EXPECT_GT(local_diam.mean(), global_diam.mean());
+}
+
+TEST(Circuit, DeterministicPerSeed) {
+  const CircuitParams params = gate_array_params(0.5);
+  const Hypergraph a = generate_circuit(params, 11);
+  const Hypergraph b = generate_circuit(params, 11);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_pins(), b.num_pins());
+}
+
+TEST(Circuit, Table2ParamsOverrideCounts) {
+  const CircuitParams p = table2_params(103, 211, Technology::kPcb);
+  EXPECT_EQ(p.num_modules, 103U);
+  EXPECT_EQ(p.num_nets, 211U);
+}
+
+TEST(Circuit, TechnologyNames) {
+  EXPECT_EQ(technology_name(Technology::kPcb), "PCB");
+  EXPECT_EQ(technology_name(Technology::kHybrid), "Hybrid");
+}
+
+}  // namespace
+}  // namespace fhp

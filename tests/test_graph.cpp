@@ -1,0 +1,84 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Graph, EmptyByDefault) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0U);
+  EXPECT_EQ(g.num_edges(), 0U);
+  g.validate();
+}
+
+TEST(Graph, FromEdgesBasic) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_vertices(), 4U);
+  EXPECT_EQ(g.num_edges(), 3U);
+  EXPECT_EQ(g.degree(1), 2U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  g.validate();
+}
+
+TEST(Graph, DuplicateEdgesMerged) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1U);
+  EXPECT_EQ(g.degree(0), 1U);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), PreconditionError);
+}
+
+TEST(Graph, OutOfRangeEndpointRejected) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), PreconditionError);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g = Graph::from_edges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto ns = g.neighbors(2);
+  ASSERT_EQ(ns.size(), 4U);
+  for (std::size_t i = 0; i + 1 < ns.size(); ++i) EXPECT_LT(ns[i], ns[i + 1]);
+}
+
+TEST(Graph, MaxDegreeTracked) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3U);
+}
+
+TEST(Graph, IsolatedVerticesAllowed) {
+  const Graph g = Graph::from_edges(5, {{0, 1}});
+  EXPECT_EQ(g.degree(4), 0U);
+  EXPECT_TRUE(g.neighbors(4).empty());
+  g.validate();
+}
+
+TEST(Graph, RandomGraphsValidate) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = test::random_graph(40, 0.15, seed);
+    g.validate();
+    // Handshake: sum of degrees = 2 |E|.
+    std::size_t total = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) total += g.degree(v);
+    EXPECT_EQ(total, 2 * g.num_edges());
+  }
+}
+
+TEST(Graph, AdjacencySymmetry) {
+  const Graph g = test::random_graph(30, 0.2, 99);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(v, u));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,91 @@
+#include "gen/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/multilevel.hpp"
+#include "core/algorithm1.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Grid, MeshShape) {
+  GridParams params;
+  params.rows = 4;
+  params.cols = 5;
+  const Hypergraph h = grid_circuit(params);
+  EXPECT_EQ(h.num_vertices(), 20U);
+  // Horizontal: 4 * 4; vertical: 5 * 3.
+  EXPECT_EQ(h.num_edges(), 31U);
+  EXPECT_TRUE(h.is_graph());
+  h.validate();
+}
+
+TEST(Grid, TorusAddsWrapNets) {
+  GridParams params;
+  params.rows = 4;
+  params.cols = 4;
+  params.torus = true;
+  const Hypergraph h = grid_circuit(params);
+  // 4 rows * 4 horizontal (incl. wrap) + 4 cols * 4 vertical.
+  EXPECT_EQ(h.num_edges(), 32U);
+}
+
+TEST(Grid, SegmentsAddThreePinNets) {
+  GridParams params;
+  params.rows = 8;
+  params.cols = 8;
+  params.segment_fraction = 0.5;
+  const Hypergraph h = grid_circuit(params, 3);
+  EXPECT_GT(h.max_edge_size(), 2U);
+  h.validate();
+}
+
+TEST(Grid, LineGrid) {
+  GridParams params;
+  params.rows = 1;
+  params.cols = 10;
+  const Hypergraph h = grid_circuit(params);
+  EXPECT_EQ(h.num_edges(), 9U);
+}
+
+TEST(Grid, Algorithm1FindsNearMinimalMeshCut) {
+  // A balanced bisection of a 12x12 mesh cuts >= 12 nets (one per row or
+  // column crossing the cutline); Algorithm I should land close to that.
+  GridParams params;
+  params.rows = 12;
+  params.cols = 12;
+  const Hypergraph h = grid_circuit(params);
+  Algorithm1Options options;
+  options.num_starts = 50;
+  const Algorithm1Result r = algorithm1(h, options);
+  EXPECT_GE(r.metrics.cut_edges, 12U);
+  EXPECT_LE(r.metrics.cut_edges, 24U);  // within 2x of the geometric floor
+  EXPECT_LE(r.metrics.cardinality_imbalance, 24U);
+}
+
+TEST(Grid, MultilevelFindsNearMinimalMeshCut) {
+  GridParams params;
+  params.rows = 12;
+  params.cols = 12;
+  const Hypergraph h = grid_circuit(params);
+  MultilevelOptions options;
+  const BaselineResult r = multilevel_bipartition(h, options);
+  EXPECT_GE(r.metrics.cut_edges, 12U);
+  EXPECT_LE(r.metrics.cut_edges, 18U);
+}
+
+TEST(Grid, Preconditions) {
+  GridParams params;
+  params.rows = 0;
+  EXPECT_THROW((void)grid_circuit(params), PreconditionError);
+  params.rows = 1;
+  params.cols = 1;
+  EXPECT_THROW((void)grid_circuit(params), PreconditionError);
+  params.cols = 4;
+  params.segment_fraction = 2.0;
+  EXPECT_THROW((void)grid_circuit(params), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fhp

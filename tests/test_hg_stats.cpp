@@ -1,0 +1,75 @@
+#include "hypergraph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(HypergraphStats, EmptyHypergraph) {
+  const HypergraphStats s = compute_stats(Hypergraph{});
+  EXPECT_EQ(s.num_vertices, 0U);
+  EXPECT_EQ(s.num_edges, 0U);
+  EXPECT_EQ(s.avg_edge_size, 0.0);
+  EXPECT_EQ(s.avg_degree, 0.0);
+}
+
+TEST(HypergraphStats, PathStats) {
+  const HypergraphStats s = compute_stats(test::path_hypergraph(5));
+  EXPECT_EQ(s.num_vertices, 5U);
+  EXPECT_EQ(s.num_edges, 4U);
+  EXPECT_EQ(s.num_pins, 8U);
+  EXPECT_DOUBLE_EQ(s.avg_edge_size, 2.0);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 1.6);
+  EXPECT_EQ(s.max_edge_size, 2U);
+  EXPECT_EQ(s.max_degree, 2U);
+  EXPECT_EQ(s.num_isolated_vertices, 0U);
+  EXPECT_EQ(s.num_trivial_edges, 0U);
+}
+
+TEST(HypergraphStats, CountsIsolatedAndTrivial) {
+  HypergraphBuilder b;
+  b.add_vertices(4);
+  b.add_edge({0, 1});
+  b.add_edge({2});
+  const HypergraphStats s = compute_stats(std::move(b).build());
+  EXPECT_EQ(s.num_isolated_vertices, 1U);  // vertex 3
+  EXPECT_EQ(s.num_trivial_edges, 1U);
+}
+
+TEST(HypergraphStats, HistogramIndexedBySize) {
+  HypergraphBuilder b;
+  b.add_vertices(5);
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  b.add_edge({0, 1, 2, 3, 4});
+  const HypergraphStats s = compute_stats(std::move(b).build());
+  ASSERT_EQ(s.edge_size_histogram.size(), 6U);
+  EXPECT_EQ(s.edge_size_histogram[2], 2U);
+  EXPECT_EQ(s.edge_size_histogram[5], 1U);
+  EXPECT_EQ(s.edge_size_histogram[3], 0U);
+}
+
+TEST(FractionEdgesAtLeast, Thresholds) {
+  HypergraphBuilder b;
+  b.add_vertices(8);
+  b.add_edge({0, 1});
+  b.add_edge({0, 1, 2});
+  b.add_edge({0, 1, 2, 3, 4, 5, 6, 7});
+  const Hypergraph h = std::move(b).build();
+  EXPECT_DOUBLE_EQ(fraction_edges_at_least(h, 2), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_edges_at_least(h, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fraction_edges_at_least(h, 8), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fraction_edges_at_least(h, 9), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_edges_at_least(Hypergraph{}, 2), 0.0);
+}
+
+TEST(HypergraphStats, ToStringMentionsCounts) {
+  const std::string s = to_string(compute_stats(test::path_hypergraph(3)));
+  EXPECT_NE(s.find("3 modules"), std::string::npos);
+  EXPECT_NE(s.find("2 nets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,154 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Hypergraph, EmptyByDefault) {
+  Hypergraph h;
+  EXPECT_EQ(h.num_vertices(), 0U);
+  EXPECT_EQ(h.num_edges(), 0U);
+  EXPECT_EQ(h.num_pins(), 0U);
+  EXPECT_EQ(h.max_edge_size(), 0U);
+  EXPECT_EQ(h.max_degree(), 0U);
+  h.validate();
+}
+
+TEST(Hypergraph, FromEdgesBuildsIncidence) {
+  const Hypergraph h = Hypergraph::from_edges(4, {{0, 1, 2}, {2, 3}});
+  EXPECT_EQ(h.num_vertices(), 4U);
+  EXPECT_EQ(h.num_edges(), 2U);
+  EXPECT_EQ(h.num_pins(), 5U);
+  EXPECT_EQ(h.edge_size(0), 3U);
+  EXPECT_EQ(h.edge_size(1), 2U);
+  EXPECT_EQ(h.degree(2), 2U);
+  EXPECT_EQ(h.degree(3), 1U);
+  const auto nets2 = h.nets_of(2);
+  ASSERT_EQ(nets2.size(), 2U);
+  EXPECT_EQ(nets2[0], 0U);
+  EXPECT_EQ(nets2[1], 1U);
+  h.validate();
+}
+
+TEST(Hypergraph, PinsAreSortedAndDeduped) {
+  HypergraphBuilder b;
+  b.add_vertices(5);
+  b.add_edge({4, 2, 2, 0, 4});
+  const Hypergraph h = std::move(b).build();
+  const auto pins = h.pins(0);
+  ASSERT_EQ(pins.size(), 3U);
+  EXPECT_EQ(pins[0], 0U);
+  EXPECT_EQ(pins[1], 2U);
+  EXPECT_EQ(pins[2], 4U);
+  h.validate();
+}
+
+TEST(Hypergraph, WeightsDefaultToOne) {
+  const Hypergraph h = test::path_hypergraph(4);
+  EXPECT_EQ(h.total_vertex_weight(), 4);
+  EXPECT_EQ(h.total_edge_weight(), 3);
+  EXPECT_EQ(h.vertex_weight(0), 1);
+  EXPECT_EQ(h.edge_weight(0), 1);
+}
+
+TEST(Hypergraph, CustomWeightsTracked) {
+  HypergraphBuilder b;
+  b.add_vertex(10);
+  b.add_vertex(20);
+  b.add_edge({0, 1}, 7);
+  b.set_vertex_weight(0, 5);
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(h.vertex_weight(0), 5);
+  EXPECT_EQ(h.vertex_weight(1), 20);
+  EXPECT_EQ(h.edge_weight(0), 7);
+  EXPECT_EQ(h.total_vertex_weight(), 25);
+  EXPECT_EQ(h.total_edge_weight(), 7);
+  h.validate();
+}
+
+TEST(Hypergraph, MaxStatsMaintained) {
+  HypergraphBuilder b;
+  b.add_vertices(6);
+  b.add_edge({0, 1, 2, 3});
+  b.add_edge({0, 1});
+  b.add_edge({0, 4});
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(h.max_edge_size(), 4U);
+  EXPECT_EQ(h.max_degree(), 3U);  // vertex 0 on three nets
+}
+
+TEST(Hypergraph, IsGraphDetection) {
+  EXPECT_TRUE(test::path_hypergraph(5).is_graph());
+  const Hypergraph h = Hypergraph::from_edges(3, {{0, 1, 2}});
+  EXPECT_FALSE(h.is_graph());
+  EXPECT_TRUE(Hypergraph().is_graph());  // vacuously
+}
+
+TEST(Hypergraph, EmptyAndSingletonEdgesAllowed) {
+  HypergraphBuilder b;
+  b.add_vertices(2);
+  b.add_edge(std::span<const VertexId>{});
+  b.add_edge({1});
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(h.num_edges(), 2U);
+  EXPECT_EQ(h.edge_size(0), 0U);
+  EXPECT_EQ(h.edge_size(1), 1U);
+  h.validate();
+}
+
+TEST(HypergraphBuilder, RejectsUnknownPin) {
+  HypergraphBuilder b;
+  b.add_vertices(2);
+  EXPECT_THROW(b.add_edge({0, 2}), PreconditionError);
+}
+
+TEST(HypergraphBuilder, RejectsNegativeWeights) {
+  HypergraphBuilder b;
+  EXPECT_THROW(b.add_vertex(-1), PreconditionError);
+  b.add_vertices(2);
+  EXPECT_THROW(b.add_edge({0, 1}, -3), PreconditionError);
+  EXPECT_THROW(b.set_vertex_weight(0, -2), PreconditionError);
+}
+
+TEST(HypergraphBuilder, SetWeightRejectsUnknownVertex) {
+  HypergraphBuilder b;
+  EXPECT_THROW(b.set_vertex_weight(0, 1), PreconditionError);
+}
+
+TEST(HypergraphBuilder, IdsAreSequential) {
+  HypergraphBuilder b;
+  EXPECT_EQ(b.add_vertex(), 0U);
+  EXPECT_EQ(b.add_vertex(), 1U);
+  EXPECT_EQ(b.add_vertices(3), 2U);
+  EXPECT_EQ(b.num_vertices(), 5U);
+  EXPECT_EQ(b.add_edge({0, 1}), 0U);
+  EXPECT_EQ(b.add_edge({1, 2}), 1U);
+  EXPECT_EQ(b.num_edges(), 2U);
+}
+
+TEST(Hypergraph, VertexNetListsSorted) {
+  // Vertex 0 appears in nets 0, 2, 3 — list must come back sorted.
+  const Hypergraph h =
+      Hypergraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}});
+  const auto nets = h.nets_of(0);
+  ASSERT_EQ(nets.size(), 3U);
+  EXPECT_EQ(nets[0], 0U);
+  EXPECT_EQ(nets[1], 2U);
+  EXPECT_EQ(nets[2], 3U);
+  h.validate();
+}
+
+TEST(Hypergraph, LargeChainValidates) {
+  const Hypergraph h = test::path_hypergraph(1000);
+  EXPECT_EQ(h.num_edges(), 999U);
+  EXPECT_EQ(h.max_degree(), 2U);
+  h.validate();
+}
+
+}  // namespace
+}  // namespace fhp

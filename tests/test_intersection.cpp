@@ -1,0 +1,98 @@
+#include "core/intersection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_hypergraph.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Intersection, PathHypergraphGivesPathGraph) {
+  // Chain nets {i, i+1}: consecutive nets share a module.
+  const Hypergraph h = test::path_hypergraph(6);
+  const Graph g = intersection_graph(h);
+  EXPECT_EQ(g.num_vertices(), 5U);
+  EXPECT_EQ(g.num_edges(), 4U);
+  for (EdgeId e = 0; e + 1 < 5; ++e) {
+    EXPECT_TRUE(g.has_edge(e, e + 1));
+  }
+  EXPECT_FALSE(g.has_edge(0, 2));
+  g.validate();
+}
+
+TEST(Intersection, StarHypergraphGivesClique) {
+  // All nets share the hub: G is complete.
+  const Hypergraph h = test::star_hypergraph(5);
+  const Graph g = intersection_graph(h);
+  EXPECT_EQ(g.num_vertices(), 5U);
+  EXPECT_EQ(g.num_edges(), 10U);
+}
+
+TEST(Intersection, EmptyAndEdgeless) {
+  EXPECT_EQ(intersection_graph(Hypergraph{}).num_vertices(), 0U);
+  HypergraphBuilder b;
+  b.add_vertices(3);
+  const Graph g = intersection_graph(std::move(b).build());
+  EXPECT_EQ(g.num_vertices(), 0U);
+}
+
+TEST(Intersection, DisjointNetsGiveNoEdges) {
+  const Hypergraph h = Hypergraph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}});
+  const Graph g = intersection_graph(h);
+  EXPECT_EQ(g.num_vertices(), 3U);
+  EXPECT_EQ(g.num_edges(), 0U);
+}
+
+TEST(Intersection, AdjacencyIffSharedModule) {
+  // Property check on random hypergraphs: G has edge (e1, e2) iff the nets
+  // share a pin.
+  RandomHypergraphParams params;
+  params.num_vertices = 40;
+  params.num_edges = 60;
+  params.max_edge_size = 5;
+  params.max_degree = 6;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph h = random_hypergraph(params, seed);
+    const Graph g = intersection_graph(h);
+    ASSERT_EQ(g.num_vertices(), h.num_edges());
+    for (EdgeId e1 = 0; e1 < h.num_edges(); ++e1) {
+      for (EdgeId e2 = e1 + 1; e2 < h.num_edges(); ++e2) {
+        const auto p1 = h.pins(e1);
+        const auto p2 = h.pins(e2);
+        bool shared = false;
+        for (VertexId v : p1) {
+          for (VertexId w : p2) {
+            if (v == w) shared = true;
+          }
+        }
+        EXPECT_EQ(g.has_edge(e1, e2), shared)
+            << "nets " << e1 << ", " << e2 << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Intersection, MultipleSharedModulesStillOneEdge) {
+  const Hypergraph h = Hypergraph::from_edges(4, {{0, 1, 2}, {0, 1, 3}});
+  const Graph g = intersection_graph(h);
+  EXPECT_EQ(g.num_edges(), 1U);
+}
+
+TEST(Intersection, DegreeBoundedByNeighbors) {
+  // A net of size s whose pins have degree <= d intersects at most
+  // s * (d - 1) other nets.
+  RandomHypergraphParams params;
+  params.num_vertices = 60;
+  params.num_edges = 90;
+  params.max_edge_size = 4;
+  params.max_degree = 5;
+  const Hypergraph h = random_hypergraph(params, 9);
+  const Graph g = intersection_graph(h);
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    EXPECT_LE(g.degree(e), h.edge_size(e) * (params.max_degree - 1));
+  }
+}
+
+}  // namespace
+}  // namespace fhp

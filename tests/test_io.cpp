@@ -1,0 +1,188 @@
+#include "hypergraph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(HmetisIo, ParsesPlainFormat) {
+  std::istringstream in("3 4\n1 2\n2 3 4\n1 4\n");
+  const Hypergraph h = read_hmetis(in);
+  EXPECT_EQ(h.num_vertices(), 4U);
+  EXPECT_EQ(h.num_edges(), 3U);
+  EXPECT_EQ(h.edge_size(1), 3U);
+  const auto pins = h.pins(0);
+  EXPECT_EQ(pins[0], 0U);
+  EXPECT_EQ(pins[1], 1U);
+  h.validate();
+}
+
+TEST(HmetisIo, ParsesCommentsAndBlankLines) {
+  std::istringstream in("% header comment\n\n2 3\n% edge one\n1 2\n\n2 3\n");
+  const Hypergraph h = read_hmetis(in);
+  EXPECT_EQ(h.num_edges(), 2U);
+}
+
+TEST(HmetisIo, ParsesEdgeWeights) {
+  std::istringstream in("2 2 1\n5 1 2\n3 1 2\n");
+  const Hypergraph h = read_hmetis(in);
+  EXPECT_EQ(h.edge_weight(0), 5);
+  EXPECT_EQ(h.edge_weight(1), 3);
+}
+
+TEST(HmetisIo, ParsesVertexWeights) {
+  std::istringstream in("1 2 10\n1 2\n7\n9\n");
+  const Hypergraph h = read_hmetis(in);
+  EXPECT_EQ(h.vertex_weight(0), 7);
+  EXPECT_EQ(h.vertex_weight(1), 9);
+}
+
+TEST(HmetisIo, ParsesFullWeights) {
+  std::istringstream in("1 2 11\n4 1 2\n7\n9\n");
+  const Hypergraph h = read_hmetis(in);
+  EXPECT_EQ(h.edge_weight(0), 4);
+  EXPECT_EQ(h.vertex_weight(1), 9);
+}
+
+TEST(HmetisIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW((void)read_hmetis(in), IoError);
+  }
+  {
+    std::istringstream in("2 2\n1 2\n");  // missing second edge
+    EXPECT_THROW((void)read_hmetis(in), IoError);
+  }
+  {
+    std::istringstream in("1 2\n1 3\n");  // pin out of range
+    EXPECT_THROW((void)read_hmetis(in), IoError);
+  }
+  {
+    std::istringstream in("1 2\n1 x\n");  // non-numeric
+    EXPECT_THROW((void)read_hmetis(in), IoError);
+  }
+  {
+    std::istringstream in("1 2 7\n1 2\n");  // unsupported fmt
+    EXPECT_THROW((void)read_hmetis(in), IoError);
+  }
+}
+
+TEST(HmetisIo, RoundTripUnweighted) {
+  const Hypergraph h = test::figure4_hypergraph();
+  std::ostringstream out;
+  write_hmetis(out, h);
+  std::istringstream in(out.str());
+  const Hypergraph back = read_hmetis(in);
+  ASSERT_EQ(back.num_vertices(), h.num_vertices());
+  ASSERT_EQ(back.num_edges(), h.num_edges());
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto a = h.pins(e);
+    const auto b = back.pins(e);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(HmetisIo, RoundTripWeighted) {
+  HypergraphBuilder builder;
+  builder.add_vertex(3);
+  builder.add_vertex(1);
+  builder.add_vertex(4);
+  builder.add_edge({0, 1}, 2);
+  builder.add_edge({1, 2}, 5);
+  const Hypergraph h = std::move(builder).build();
+  std::ostringstream out;
+  write_hmetis(out, h);
+  std::istringstream in(out.str());
+  const Hypergraph back = read_hmetis(in);
+  EXPECT_EQ(back.vertex_weight(0), 3);
+  EXPECT_EQ(back.vertex_weight(2), 4);
+  EXPECT_EQ(back.edge_weight(1), 5);
+}
+
+TEST(NetlistIo, ParsesPaperStyleNetlist) {
+  std::istringstream in(
+      "# paper example prefix\n"
+      "a: m1 m2 m11\n"
+      "b: m2 m4 m11\n");
+  const NamedNetlist n = read_netlist(in);
+  EXPECT_EQ(n.hypergraph.num_edges(), 2U);
+  EXPECT_EQ(n.hypergraph.num_vertices(), 4U);  // m1 m2 m11 m4
+  EXPECT_EQ(n.edge_names[0], "a");
+  EXPECT_EQ(n.vertex("m4"), 3U);
+  EXPECT_EQ(n.edge("b"), 1U);
+}
+
+TEST(NetlistIo, RejectsBadLines) {
+  {
+    std::istringstream in("no colon here\n");
+    EXPECT_THROW((void)read_netlist(in), IoError);
+  }
+  {
+    std::istringstream in("a: x\na: y\n");  // duplicate signal
+    EXPECT_THROW((void)read_netlist(in), IoError);
+  }
+  {
+    std::istringstream in("a b: x\n");  // two tokens before colon
+    EXPECT_THROW((void)read_netlist(in), IoError);
+  }
+}
+
+TEST(NetlistIo, UnknownNamesThrow) {
+  std::istringstream in("a: x y\n");
+  const NamedNetlist n = read_netlist(in);
+  EXPECT_THROW((void)n.vertex("zzz"), IoError);
+  EXPECT_THROW((void)n.edge("zzz"), IoError);
+}
+
+TEST(NetlistIo, RoundTrip) {
+  std::istringstream in("sig1: a b c\nsig2: c d\n");
+  const NamedNetlist n = read_netlist(in);
+  std::ostringstream out;
+  write_netlist(out, n);
+  std::istringstream in2(out.str());
+  const NamedNetlist back = read_netlist(in2);
+  EXPECT_EQ(back.hypergraph.num_edges(), n.hypergraph.num_edges());
+  EXPECT_EQ(back.hypergraph.num_pins(), n.hypergraph.num_pins());
+  EXPECT_EQ(back.edge_names, n.edge_names);
+}
+
+TEST(PartitionIo, RoundTrip) {
+  const std::vector<std::uint8_t> sides{0, 1, 1, 0, 1};
+  std::ostringstream out;
+  write_partition(out, sides);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_partition(in, 5), sides);
+}
+
+TEST(PartitionIo, RejectsBadValuesAndCounts) {
+  {
+    std::istringstream in("0\n2\n");
+    EXPECT_THROW((void)read_partition(in, 2), IoError);
+  }
+  {
+    std::istringstream in("0\n1\n");
+    EXPECT_THROW((void)read_partition(in, 3), IoError);
+  }
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_hmetis_file("/nonexistent/x.hgr"), IoError);
+  EXPECT_THROW((void)read_netlist_file("/nonexistent/x.net"), IoError);
+}
+
+TEST(FileIo, WriteReadDisk) {
+  const Hypergraph h = test::path_hypergraph(6);
+  const std::string path = testing::TempDir() + "/fhp_io_test.hgr";
+  write_hmetis_file(path, h);
+  const Hypergraph back = read_hmetis_file(path);
+  EXPECT_EQ(back.num_vertices(), 6U);
+  EXPECT_EQ(back.num_edges(), 5U);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,77 @@
+#include "baselines/kl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_cut.hpp"
+#include "gen/circuit.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Kl, SolvesTwoClusters) {
+  const Hypergraph h = test::two_cluster_hypergraph(8, 2);
+  const BaselineResult r = kernighan_lin(h);
+  EXPECT_EQ(r.metrics.cut_edges, 2U);
+  EXPECT_TRUE(r.metrics.proper);
+}
+
+TEST(Kl, PreservesCardinalityBalance) {
+  // Pair swaps keep counts fixed: the result has the same imbalance as the
+  // starting bisection (0 for even module counts).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph h =
+        generate_circuit(table2_params(100, 180, Technology::kPcb), seed);
+    KlOptions options;
+    options.seed = seed;
+    const BaselineResult r = kernighan_lin(h, options);
+    EXPECT_LE(r.metrics.cardinality_imbalance, 1U) << "seed " << seed;
+  }
+}
+
+TEST(Kl, NeverWorseThanItsStart) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph h = generate_circuit(
+        table2_params(90, 160, Technology::kStandardCell), seed);
+    const BaselineResult start = random_bisection(h, seed + 100);
+    KlOptions options;
+    options.initial = start.sides;
+    const BaselineResult r = kernighan_lin(h, options);
+    EXPECT_LE(r.metrics.cut_weight, start.metrics.cut_weight)
+        << "seed " << seed;
+  }
+}
+
+TEST(Kl, ImprovesChainSubstantially) {
+  const Hypergraph h = test::path_hypergraph(40);
+  KlOptions options;
+  options.seed = 9;
+  const BaselineResult r = kernighan_lin(h, options);
+  EXPECT_LT(r.metrics.cut_edges, 10U);
+}
+
+TEST(Kl, DeterministicPerSeed) {
+  const Hypergraph h =
+      generate_circuit(table2_params(70, 130, Technology::kHybrid), 3);
+  KlOptions options;
+  options.seed = 5;
+  EXPECT_EQ(kernighan_lin(h, options).sides,
+            kernighan_lin(h, options).sides);
+}
+
+TEST(Kl, RejectsBadInitial) {
+  const Hypergraph h = test::path_hypergraph(4);
+  KlOptions options;
+  options.initial = std::vector<std::uint8_t>{0, 1, 0};
+  EXPECT_THROW((void)kernighan_lin(h, options), PreconditionError);
+}
+
+TEST(Kl, TinyInstance) {
+  const Hypergraph h = test::path_hypergraph(2);
+  const BaselineResult r = kernighan_lin(h);
+  EXPECT_TRUE(r.metrics.proper);
+  EXPECT_EQ(r.metrics.cut_edges, 1U);  // the single net must cross
+}
+
+}  // namespace
+}  // namespace fhp

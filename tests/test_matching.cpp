@@ -1,0 +1,131 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+/// Checks that a matching is structurally valid: symmetric, along edges.
+void check_matching(const Graph& g, const MatchingResult& m) {
+  VertexId pairs = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId partner = m.match[v];
+    if (partner == kInvalidVertex) continue;
+    EXPECT_EQ(m.match[partner], v);
+    EXPECT_TRUE(g.has_edge(v, partner));
+    if (v < partner) ++pairs;
+  }
+  EXPECT_EQ(pairs, m.size);
+}
+
+/// Checks a vertex cover covers every edge.
+void check_cover(const Graph& g, const std::vector<std::uint8_t>& cover) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (v < u) continue;
+      EXPECT_TRUE(cover[u] || cover[v]) << "edge (" << u << "," << v
+                                        << ") uncovered";
+    }
+  }
+}
+
+TEST(Matching, PerfectMatchingOnEvenPath) {
+  // Path 0-1-2-3 (bipartite: even ids left).
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<std::uint8_t> side{0, 1, 0, 1};
+  const MatchingResult m = max_bipartite_matching(g, side);
+  EXPECT_EQ(m.size, 2U);
+  check_matching(g, m);
+}
+
+TEST(Matching, StarHasMatchingOne) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const std::vector<std::uint8_t> side{0, 1, 1, 1, 1};
+  const MatchingResult m = max_bipartite_matching(g, side);
+  EXPECT_EQ(m.size, 1U);
+  check_matching(g, m);
+}
+
+TEST(Matching, EmptyAndEdgeless) {
+  {
+    const MatchingResult m = max_bipartite_matching(Graph{}, {});
+    EXPECT_EQ(m.size, 0U);
+  }
+  {
+    const Graph g = Graph::from_edges(3, {});
+    const MatchingResult m =
+        max_bipartite_matching(g, std::vector<std::uint8_t>{0, 0, 1});
+    EXPECT_EQ(m.size, 0U);
+  }
+}
+
+TEST(Matching, RejectsImproperColoring) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  EXPECT_THROW(
+      (void)max_bipartite_matching(g, std::vector<std::uint8_t>{0, 0}),
+      PreconditionError);
+  EXPECT_THROW((void)max_bipartite_matching(g, std::vector<std::uint8_t>{0}),
+               PreconditionError);
+}
+
+TEST(Matching, CompleteBipartite) {
+  // K_{3,4}: maximum matching 3.
+  GraphBuilder b(7);
+  std::vector<std::uint8_t> side(7, 0);
+  for (VertexId l = 0; l < 3; ++l) {
+    for (VertexId r = 3; r < 7; ++r) b.add_edge(l, r);
+  }
+  for (VertexId r = 3; r < 7; ++r) side[r] = 1;
+  const Graph g = std::move(b).build();
+  const MatchingResult m = max_bipartite_matching(g, side);
+  EXPECT_EQ(m.size, 3U);
+  check_matching(g, m);
+}
+
+TEST(Koenig, CoverSizeEqualsMatchingSize) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto [g, side] = test::random_bipartite_graph(9, 8, 0.3, seed);
+    const MatchingResult m = max_bipartite_matching(g, side);
+    const auto cover = minimum_vertex_cover(g, side, m);
+    check_matching(g, m);
+    check_cover(g, cover);
+    VertexId cover_size = 0;
+    for (std::uint8_t c : cover) cover_size += c;
+    EXPECT_EQ(cover_size, m.size) << "seed " << seed;
+  }
+}
+
+TEST(Koenig, MatchesBruteForceMinimum) {
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    const auto [g, side] = test::random_bipartite_graph(6, 6, 0.35, seed);
+    const MatchingResult m = max_bipartite_matching(g, side);
+    const std::uint32_t brute = test::brute_force_min_vertex_cover(g);
+    EXPECT_EQ(m.size, brute) << "seed " << seed;
+  }
+}
+
+TEST(Koenig, IndependentSetComplement) {
+  const auto [g, side] = test::random_bipartite_graph(10, 10, 0.25, 42);
+  const MatchingResult m = max_bipartite_matching(g, side);
+  const auto cover = minimum_vertex_cover(g, side, m);
+  // Complement of a vertex cover is an independent set.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (cover[u]) continue;
+    for (VertexId v : g.neighbors(u)) EXPECT_TRUE(cover[v]);
+  }
+}
+
+TEST(Matching, LargeRandomAgainstAugmentingUpperBound) {
+  // Matching size can never exceed min(|L|, |R|) and must saturate
+  // high-probability dense instances.
+  const auto [g, side] = test::random_bipartite_graph(30, 30, 0.5, 7);
+  const MatchingResult m = max_bipartite_matching(g, side);
+  EXPECT_LE(m.size, 30U);
+  EXPECT_GE(m.size, 28U);  // dense random bipartite: near-perfect whp
+  check_matching(g, m);
+}
+
+}  // namespace
+}  // namespace fhp

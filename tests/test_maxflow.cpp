@@ -1,0 +1,112 @@
+#include "graph/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(MaxFlow, SingleArc) {
+  FlowNetwork net(2);
+  net.add_arc(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 7);
+  net.add_arc(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 2);
+  net.add_arc(1, 3, 2);
+  net.add_arc(0, 2, 3);
+  net.add_arc(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 5);
+}
+
+TEST(MaxFlow, ClassicCrossNetwork) {
+  // The textbook 6-node example with a cross arc; max flow 23.
+  FlowNetwork net(6);
+  net.add_arc(0, 1, 16);
+  net.add_arc(0, 2, 13);
+  net.add_arc(1, 2, 10);
+  net.add_arc(2, 1, 4);
+  net.add_arc(1, 3, 12);
+  net.add_arc(3, 2, 9);
+  net.add_arc(2, 4, 14);
+  net.add_arc(4, 3, 7);
+  net.add_arc(3, 5, 20);
+  net.add_arc(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 4);
+  EXPECT_EQ(net.max_flow(0, 2), 0);
+}
+
+TEST(MaxFlow, MinCutSideSeparatesTerminals) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 1);
+  net.add_arc(1, 2, 10);
+  net.add_arc(2, 3, 10);
+  net.max_flow(0, 3);
+  const auto side = net.min_cut_side();
+  EXPECT_EQ(side[0], 1);
+  EXPECT_EQ(side[3], 0);
+  // The bottleneck (0,1) is the cut: 1,2 unreachable.
+  EXPECT_EQ(side[1], 0);
+  EXPECT_EQ(side[2], 0);
+}
+
+TEST(MaxFlow, CutCapacityEqualsFlowValue) {
+  // Max-flow min-cut duality, fuzzed on random DAG-ish networks.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const std::uint32_t n = 10;
+    struct ArcSpec {
+      std::uint32_t from;
+      std::uint32_t to;
+      FlowNetwork::Capacity cap;
+    };
+    std::vector<ArcSpec> specs;
+    FlowNetwork net(n);
+    for (int i = 0; i < 25; ++i) {
+      const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+      const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+      if (u == v) continue;
+      const auto cap = static_cast<FlowNetwork::Capacity>(rng.next_in(1, 9));
+      net.add_arc(u, v, cap);
+      specs.push_back({u, v, cap});
+    }
+    const FlowNetwork::Capacity flow = net.max_flow(0, n - 1);
+    const auto side = net.min_cut_side();
+    EXPECT_EQ(side[0], 1);
+    EXPECT_EQ(side[n - 1], 0);
+    FlowNetwork::Capacity cut = 0;
+    for (const ArcSpec& a : specs) {
+      if (side[a.from] && !side[a.to]) cut += a.cap;
+    }
+    EXPECT_EQ(cut, flow) << "seed " << seed;
+  }
+}
+
+TEST(MaxFlow, Preconditions) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_arc(0, 2, 1), PreconditionError);
+  EXPECT_THROW(net.add_arc(0, 1, -1), PreconditionError);
+  EXPECT_THROW((void)net.max_flow(0, 0), PreconditionError);
+  EXPECT_THROW((void)net.min_cut_side(), PreconditionError);
+  net.add_arc(0, 1, 1);
+  (void)net.max_flow(0, 1);
+  EXPECT_THROW(net.add_arc(0, 1, 1), PreconditionError);  // solved
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,75 @@
+#include "partition/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Metrics, BasicFields) {
+  const Hypergraph h = test::path_hypergraph(4);
+  const Bipartition p(h, {0, 0, 1, 1});
+  const PartitionMetrics m = compute_metrics(p);
+  EXPECT_EQ(m.cut_edges, 1U);
+  EXPECT_EQ(m.cut_weight, 1);
+  EXPECT_EQ(m.left_count, 2U);
+  EXPECT_EQ(m.right_count, 2U);
+  EXPECT_EQ(m.cardinality_imbalance, 0U);
+  EXPECT_TRUE(m.proper);
+  EXPECT_DOUBLE_EQ(m.quotient_cut, 0.25);
+  EXPECT_DOUBLE_EQ(m.ratio_cut, 0.5);
+}
+
+TEST(Metrics, ImproperCutHasInfiniteQuotient) {
+  const Hypergraph h = test::path_hypergraph(3);
+  const Bipartition p(h);  // everything on one side
+  EXPECT_TRUE(std::isinf(quotient_cut(p)));
+  EXPECT_TRUE(std::isinf(ratio_cut(p)));
+  EXPECT_FALSE(compute_metrics(p).proper);
+}
+
+TEST(Metrics, QuotientPrefersBalance) {
+  // Same cut weight, different balance: quotient favors the even split.
+  const Hypergraph h = test::path_hypergraph(6);
+  const Bipartition even(h, {0, 0, 0, 1, 1, 1});
+  const Bipartition skewed(h, {0, 1, 1, 1, 1, 1});
+  EXPECT_EQ(even.cut_edges(), skewed.cut_edges());
+  EXPECT_LT(quotient_cut(even), quotient_cut(skewed));
+}
+
+TEST(Metrics, RBalanceAndBisection) {
+  const Hypergraph h = test::path_hypergraph(5);
+  const Bipartition p(h, {0, 0, 0, 1, 1});
+  EXPECT_TRUE(satisfies_r_balance(p, 1));
+  EXPECT_TRUE(is_bisection(p));
+  const Bipartition q(h, {0, 0, 0, 0, 1});
+  EXPECT_FALSE(is_bisection(q));
+  EXPECT_TRUE(satisfies_r_balance(q, 3));
+  EXPECT_FALSE(satisfies_r_balance(q, 2));
+}
+
+TEST(Metrics, WeightedCut) {
+  HypergraphBuilder b;
+  b.add_vertices(4);
+  b.add_edge({0, 1}, 10);
+  b.add_edge({1, 2}, 3);
+  b.add_edge({2, 3}, 10);
+  const Hypergraph h = std::move(b).build();
+  const Bipartition p(h, {0, 0, 1, 1});
+  const PartitionMetrics m = compute_metrics(p);
+  EXPECT_EQ(m.cut_edges, 1U);
+  EXPECT_EQ(m.cut_weight, 3);
+  EXPECT_DOUBLE_EQ(m.quotient_cut, 3.0 / 4.0);
+}
+
+TEST(Metrics, ToStringMentionsCut) {
+  const Hypergraph h = test::path_hypergraph(4);
+  const PartitionMetrics m = compute_metrics(Bipartition(h, {0, 0, 1, 1}));
+  EXPECT_NE(to_string(m).find("cut=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhp

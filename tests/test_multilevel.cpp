@@ -1,0 +1,98 @@
+#include "baselines/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_cut.hpp"
+#include "gen/circuit.hpp"
+#include "gen/planted.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Multilevel, SolvesTwoClusters) {
+  const Hypergraph h = test::two_cluster_hypergraph(10, 2);
+  const BaselineResult r = multilevel_bipartition(h);
+  EXPECT_EQ(r.metrics.cut_edges, 2U);
+  EXPECT_TRUE(r.metrics.proper);
+}
+
+TEST(Multilevel, ChainOptimal) {
+  const Hypergraph h = test::path_hypergraph(200);
+  const BaselineResult r = multilevel_bipartition(h);
+  EXPECT_EQ(r.metrics.cut_edges, 1U);
+}
+
+TEST(Multilevel, BeatsFlatRandomByFar) {
+  const Hypergraph h = generate_circuit(
+      table2_params(500, 850, Technology::kStandardCell), 4);
+  const BaselineResult ml = multilevel_bipartition(h);
+  const BaselineResult random = best_random_bisection(h, 8, 4);
+  EXPECT_LT(ml.metrics.cut_edges * 3, random.metrics.cut_edges);
+  EXPECT_EQ(ml.metrics.cut_edges, test::count_cut_edges(h, ml.sides));
+}
+
+TEST(Multilevel, SmallInputSkipsHierarchy) {
+  const Hypergraph h = test::path_hypergraph(8);
+  MultilevelOptions options;
+  options.coarsest_size = 60;  // larger than the instance
+  const BaselineResult r = multilevel_bipartition(h, options);
+  EXPECT_TRUE(r.metrics.proper);
+  EXPECT_EQ(r.iterations, 1);  // no levels built
+}
+
+TEST(Multilevel, SolvesPlantedGraphs) {
+  // The family where flat FM sticks: the V-cycle should get close to the
+  // planted cut (this is why multilevel superseded single-level methods).
+  PlantedParams params;
+  params.num_vertices = 300;
+  params.num_edges = 420;
+  params.planted_cut = 4;
+  params.min_edge_size = 2;
+  params.max_edge_size = 2;
+  params.max_degree = 0;
+  int wins = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const PlantedInstance inst = planted_instance(params, seed);
+    MultilevelOptions options;
+    options.seed = seed;
+    const BaselineResult r = multilevel_bipartition(inst.hypergraph, options);
+    if (r.metrics.cut_edges <= inst.planted_cut + 2) ++wins;
+  }
+  EXPECT_GE(wins, 2);
+}
+
+TEST(Multilevel, DeterministicPerSeed) {
+  const Hypergraph h =
+      generate_circuit(table2_params(150, 260, Technology::kGateArray), 9);
+  MultilevelOptions options;
+  options.seed = 31;
+  EXPECT_EQ(multilevel_bipartition(h, options).sides,
+            multilevel_bipartition(h, options).sides);
+}
+
+TEST(Multilevel, KeepsTightBalanceWhenAsked) {
+  const Hypergraph h =
+      generate_circuit(table2_params(200, 340, Technology::kPcb), 6);
+  MultilevelOptions options;
+  options.max_weight_imbalance = 8;
+  const BaselineResult r = multilevel_bipartition(h, options);
+  // FM's tolerance stretches to its starting imbalance per level, so the
+  // bound is approximate; it must still land well inside 10% of total.
+  EXPECT_LE(static_cast<double>(r.metrics.weight_imbalance),
+            0.1 * static_cast<double>(h.total_vertex_weight()));
+}
+
+TEST(Multilevel, Preconditions) {
+  HypergraphBuilder b;
+  b.add_vertex();
+  EXPECT_THROW((void)multilevel_bipartition(std::move(b).build()),
+               PreconditionError);
+  const Hypergraph h = test::path_hypergraph(4);
+  MultilevelOptions options;
+  options.coarsest_size = 1;
+  EXPECT_THROW((void)multilevel_bipartition(h, options), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,174 @@
+/// Exhaustive option-matrix sweep for Algorithm I: every combination of
+/// completion strategy, initial-cut strategy, objective, threshold, and
+/// balance flag must produce a valid, deterministic, proper partition on
+/// instances from every generator family.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "core/algorithm1.hpp"
+#include "gen/circuit.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_hypergraph.hpp"
+#include "hypergraph/bookshelf.hpp"
+#include "hypergraph/io.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+class OptionsMatrix
+    : public testing::TestWithParam<std::tuple<
+          CompletionStrategy, InitialCutStrategy, Objective, std::uint32_t>> {
+};
+
+TEST_P(OptionsMatrix, ValidDeterministicProper) {
+  const auto [completion, initial_cut, objective, threshold] = GetParam();
+  const Hypergraph h =
+      generate_circuit(table2_params(150, 260, Technology::kStandardCell), 7);
+
+  Algorithm1Options options;
+  options.completion = completion;
+  options.initial_cut = initial_cut;
+  options.objective = objective;
+  options.large_edge_threshold = threshold;
+  options.num_starts = 5;
+  options.seed = 11;
+
+  const Algorithm1Result a = algorithm1(h, options);
+  ASSERT_EQ(a.sides.size(), h.num_vertices());
+  EXPECT_TRUE(a.metrics.proper);
+  EXPECT_EQ(a.metrics.cut_edges, test::count_cut_edges(h, a.sides));
+
+  const Algorithm1Result b = algorithm1(h, options);
+  EXPECT_EQ(a.sides, b.sides) << "nondeterministic under fixed seed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, OptionsMatrix,
+    testing::Combine(
+        testing::Values(CompletionStrategy::kGreedy,
+                        CompletionStrategy::kWeightedGreedy,
+                        CompletionStrategy::kExact),
+        testing::Values(InitialCutStrategy::kBidirectionalBfs,
+                        InitialCutStrategy::kLevelSweep),
+        testing::Values(Objective::kCutsize, Objective::kQuotient),
+        testing::Values<std::uint32_t>(0, 6, 10)));
+
+// ---------------------------------------------------------------------
+// I/O fuzz: every generated hypergraph survives an hMETIS round trip
+// bit-exactly (structure and weights).
+// ---------------------------------------------------------------------
+
+class IoRoundTrip : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoRoundTrip, HmetisPreservesEverything) {
+  const std::uint64_t seed = GetParam();
+  RandomHypergraphParams params;
+  params.num_vertices = 40;
+  params.num_edges = 70;
+  params.max_edge_size = 6;
+  params.max_degree = 8;
+  const Hypergraph h = random_hypergraph(params, seed);
+
+  std::ostringstream out;
+  write_hmetis(out, h);
+  std::istringstream in(out.str());
+  const Hypergraph back = read_hmetis(in);
+
+  ASSERT_EQ(back.num_vertices(), h.num_vertices());
+  ASSERT_EQ(back.num_edges(), h.num_edges());
+  ASSERT_EQ(back.num_pins(), h.num_pins());
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    const auto a = h.pins(e);
+    const auto b = back.pins(e);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(back.edge_weight(e), h.edge_weight(e));
+  }
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    EXPECT_EQ(back.vertex_weight(v), h.vertex_weight(v));
+  }
+}
+
+TEST_P(IoRoundTrip, BookshelfPreservesConnectivity) {
+  const std::uint64_t seed = GetParam();
+  CircuitParams params = pcb_params(0.4);
+  const Hypergraph h = generate_circuit(params, seed);
+
+  BookshelfDesign design;
+  design.netlist.hypergraph = h;
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    design.netlist.vertex_names.push_back("c" + std::to_string(v));
+  }
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    design.netlist.edge_names.push_back("n" + std::to_string(e));
+  }
+  design.is_terminal.assign(h.num_vertices(), 0);
+
+  std::ostringstream nodes_out;
+  std::ostringstream nets_out;
+  write_bookshelf(nodes_out, nets_out, design);
+  std::istringstream nodes_in(nodes_out.str());
+  std::istringstream nets_in(nets_out.str());
+  const BookshelfDesign back = read_bookshelf(nodes_in, nets_in);
+
+  ASSERT_EQ(back.netlist.hypergraph.num_vertices(), h.num_vertices());
+  ASSERT_EQ(back.netlist.hypergraph.num_edges(), h.num_edges());
+  ASSERT_EQ(back.netlist.hypergraph.num_pins(), h.num_pins());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    EXPECT_EQ(back.netlist.hypergraph.vertex_weight(v), h.vertex_weight(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTrip,
+                         testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------
+// Generator-family coverage for the full driver: every family yields a
+// valid partition for both initial-cut strategies.
+// ---------------------------------------------------------------------
+
+class FamilyCoverage : public testing::TestWithParam<int> {};
+
+TEST_P(FamilyCoverage, EveryFamilyPartitions) {
+  const int family = GetParam();
+  Hypergraph h;
+  switch (family) {
+    case 0:
+      h = grid_circuit({10, 10, 0.3, false}, 3);
+      break;
+    case 1:
+      h = grid_circuit({8, 8, 0.0, true}, 3);
+      break;
+    case 2: {
+      RandomHypergraphParams params;
+      params.num_vertices = 90;
+      params.num_edges = 140;
+      h = random_hypergraph(params, 3);
+      break;
+    }
+    case 3:
+      h = generate_circuit(hybrid_params(1.0), 3);
+      break;
+    default:
+      h = test::figure4_hypergraph();
+  }
+  for (InitialCutStrategy strategy :
+       {InitialCutStrategy::kBidirectionalBfs,
+        InitialCutStrategy::kLevelSweep}) {
+    Algorithm1Options options;
+    options.initial_cut = strategy;
+    options.num_starts = 4;
+    const Algorithm1Result r = algorithm1(h, options);
+    EXPECT_TRUE(r.metrics.proper);
+    EXPECT_EQ(r.metrics.cut_edges, test::count_cut_edges(h, r.sides));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilyCoverage,
+                         testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,129 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Bipartition, DefaultAllOnSideZero) {
+  const Hypergraph h = test::path_hypergraph(4);
+  const Bipartition p(h);
+  EXPECT_EQ(p.count(0), 4U);
+  EXPECT_EQ(p.count(1), 0U);
+  EXPECT_EQ(p.cut_edges(), 0U);
+  EXPECT_FALSE(p.is_proper());
+  p.validate();
+}
+
+TEST(Bipartition, ExplicitSidesCounted) {
+  const Hypergraph h = test::path_hypergraph(4);
+  const Bipartition p(h, {0, 0, 1, 1});
+  EXPECT_EQ(p.count(0), 2U);
+  EXPECT_EQ(p.count(1), 2U);
+  EXPECT_EQ(p.cut_edges(), 1U);  // net {1,2}
+  EXPECT_TRUE(p.is_cut(1));
+  EXPECT_FALSE(p.is_cut(0));
+  EXPECT_TRUE(p.is_proper());
+  EXPECT_EQ(p.cardinality_imbalance(), 0U);
+  p.validate();
+}
+
+TEST(Bipartition, RejectsBadSides) {
+  const Hypergraph h = test::path_hypergraph(3);
+  EXPECT_THROW(Bipartition(h, {0, 1}), PreconditionError);
+  EXPECT_THROW(Bipartition(h, {0, 1, 2}), PreconditionError);
+}
+
+TEST(Bipartition, FlipUpdatesEverything) {
+  const Hypergraph h = test::path_hypergraph(5);
+  Bipartition p(h, {0, 0, 0, 1, 1});
+  EXPECT_EQ(p.cut_edges(), 1U);
+  p.flip(2);  // now 0 0 1 1 1
+  EXPECT_EQ(p.side(2), 1);
+  EXPECT_EQ(p.cut_edges(), 1U);  // cut moved to net {1,2}
+  EXPECT_TRUE(p.is_cut(1));
+  EXPECT_FALSE(p.is_cut(2));
+  p.validate();
+  p.flip(2);  // back
+  EXPECT_EQ(p.cut_edges(), 1U);
+  EXPECT_TRUE(p.is_cut(2));
+  p.validate();
+}
+
+TEST(Bipartition, MoveToIsIdempotent) {
+  const Hypergraph h = test::path_hypergraph(3);
+  Bipartition p(h, {0, 0, 1});
+  p.move_to(0, 0);
+  EXPECT_EQ(p.side(0), 0);
+  p.move_to(0, 1);
+  EXPECT_EQ(p.side(0), 1);
+  p.validate();
+}
+
+TEST(Bipartition, WeightsTracked) {
+  HypergraphBuilder b;
+  b.add_vertex(3);
+  b.add_vertex(5);
+  b.add_vertex(7);
+  b.add_edge({0, 1, 2}, 2);
+  const Hypergraph h = std::move(b).build();
+  Bipartition p(h, {0, 0, 1});
+  EXPECT_EQ(p.weight(0), 8);
+  EXPECT_EQ(p.weight(1), 7);
+  EXPECT_EQ(p.weight_imbalance(), 1);
+  EXPECT_EQ(p.cut_weight(), 2);
+  p.flip(0);
+  EXPECT_EQ(p.weight(0), 5);
+  EXPECT_EQ(p.weight(1), 10);
+  EXPECT_EQ(p.weight_imbalance(), 5);
+  p.validate();
+}
+
+TEST(Bipartition, PinsOnSideConsistent) {
+  const Hypergraph h = Hypergraph::from_edges(5, {{0, 1, 2, 3, 4}});
+  Bipartition p(h, {0, 0, 1, 1, 1});
+  EXPECT_EQ(p.pins_on_side(0, 0), 2U);
+  EXPECT_EQ(p.pins_on_side(0, 1), 3U);
+  p.flip(0);
+  EXPECT_EQ(p.pins_on_side(0, 0), 1U);
+  EXPECT_EQ(p.pins_on_side(0, 1), 4U);
+}
+
+TEST(Bipartition, TrivialNetsNeverCut) {
+  HypergraphBuilder b;
+  b.add_vertices(3);
+  b.add_edge({0});
+  b.add_edge(std::span<const VertexId>{});
+  const Hypergraph h = std::move(b).build();
+  Bipartition p(h, {0, 1, 1});
+  EXPECT_EQ(p.cut_edges(), 0U);
+  p.flip(0);
+  EXPECT_EQ(p.cut_edges(), 0U);
+  p.validate();
+}
+
+TEST(Bipartition, RandomFlipFuzzAgainstRebuild) {
+  const Hypergraph h = test::two_cluster_hypergraph(6, 4);
+  Rng rng(77);
+  std::vector<std::uint8_t> sides(h.num_vertices());
+  for (auto& s : sides) s = static_cast<std::uint8_t>(rng.next_below(2));
+  Bipartition p(h, sides);
+  for (int i = 0; i < 500; ++i) {
+    p.flip(static_cast<VertexId>(rng.next_below(h.num_vertices())));
+    if (i % 50 == 0) p.validate();
+  }
+  p.validate();
+}
+
+TEST(Bipartition, CutEdgesMatchesNaiveCount) {
+  const Hypergraph h = test::figure4_hypergraph();
+  const auto sides = test::figure4_expected_sides();
+  const Bipartition p(h, sides);
+  EXPECT_EQ(p.cut_edges(), test::count_cut_edges(h, sides));
+}
+
+}  // namespace
+}  // namespace fhp

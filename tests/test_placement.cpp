@@ -1,0 +1,160 @@
+#include "place/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/circuit.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Placement, EveryModulePlacedInBounds) {
+  const Hypergraph h = generate_circuit(
+      table2_params(120, 210, Technology::kStandardCell), 3);
+  PlacementOptions options;
+  options.grid_cols = 4;
+  options.grid_rows = 2;
+  const Placement p = place_mincut(h, options);
+  ASSERT_EQ(p.region.size(), h.num_vertices());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    EXPECT_LT(p.region[v], 8U);
+    EXPECT_GE(p.x[v], 0.0);
+    EXPECT_LT(p.x[v], 4.0);
+    EXPECT_GE(p.y[v], 0.0);
+    EXPECT_LT(p.y[v], 2.0);
+    // Coordinates must sit inside the module's region square.
+    EXPECT_EQ(static_cast<std::uint32_t>(p.x[v]), p.col(v));
+    EXPECT_EQ(static_cast<std::uint32_t>(p.y[v]), p.row(v));
+  }
+}
+
+TEST(Placement, OccupancyRoughlyEven) {
+  const Hypergraph h = generate_circuit(
+      table2_params(256, 450, Technology::kGateArray), 5);
+  PlacementOptions options;
+  options.grid_cols = 4;
+  options.grid_rows = 4;
+  const Placement p = place_mincut(h, options);
+  std::vector<VertexId> counts(16, 0);
+  for (std::uint32_t region : p.region) ++counts[region];
+  for (VertexId c : counts) {
+    EXPECT_GT(c, 4U);   // ideal 16
+    EXPECT_LT(c, 40U);
+  }
+}
+
+TEST(Placement, BeatsRandomOnWirelength) {
+  const Hypergraph h = generate_circuit(
+      table2_params(300, 520, Technology::kStandardCell), 7);
+  PlacementOptions options;
+  options.seed = 7;
+  const Placement mincut = place_mincut(h, options);
+  const Placement random = place_random(h, 4, 4, 7);
+  EXPECT_LT(half_perimeter_wirelength(h, mincut),
+            0.8 * half_perimeter_wirelength(h, random));
+  EXPECT_LT(spanning_nets(h, mincut), spanning_nets(h, random));
+}
+
+TEST(Placement, ChainPlacesContiguously) {
+  // A chain netlist placed on a 1x2... use 2x1: wirelength near minimal
+  // means almost all nets stay within one region.
+  const Hypergraph h = test::path_hypergraph(64);
+  PlacementOptions options;
+  options.grid_cols = 2;
+  options.grid_rows = 1;
+  const Placement p = place_mincut(h, options);
+  EXPECT_EQ(spanning_nets(h, p), 1U);
+}
+
+TEST(Placement, AllEnginesProduceValidPlacements) {
+  const Hypergraph h =
+      generate_circuit(table2_params(100, 170, Technology::kPcb), 11);
+  for (PlacementEngine engine :
+       {PlacementEngine::kAlgorithm1, PlacementEngine::kFm,
+        PlacementEngine::kKl, PlacementEngine::kRandom}) {
+    PlacementOptions options;
+    options.engine = engine;
+    options.grid_cols = 2;
+    options.grid_rows = 2;
+    const Placement p = place_mincut(h, options);
+    std::vector<int> used(4, 0);
+    for (std::uint32_t region : p.region) {
+      ASSERT_LT(region, 4U);
+      used[region] = 1;
+    }
+    EXPECT_EQ(used[0] + used[1] + used[2] + used[3], 4)
+        << "engine " << static_cast<int>(engine);
+  }
+}
+
+TEST(Placement, TerminalPropagationHelpsOnAverage) {
+  // Orientation selection can only use information the blind placer
+  // ignores; over several seeds it should not lose.
+  const Hypergraph h = generate_circuit(
+      table2_params(300, 520, Technology::kStandardCell), 19);
+  double with_tp = 0.0;
+  double without_tp = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    PlacementOptions options;
+    options.seed = seed;
+    options.terminal_propagation = true;
+    with_tp += half_perimeter_wirelength(h, place_mincut(h, options));
+    options.terminal_propagation = false;
+    without_tp += half_perimeter_wirelength(h, place_mincut(h, options));
+  }
+  EXPECT_LE(with_tp, without_tp * 1.02);
+}
+
+TEST(Placement, DeterministicPerSeed) {
+  const Hypergraph h =
+      generate_circuit(table2_params(90, 150, Technology::kHybrid), 2);
+  PlacementOptions options;
+  options.seed = 13;
+  options.grid_cols = 2;
+  options.grid_rows = 2;
+  const Placement a = place_mincut(h, options);
+  const Placement b = place_mincut(h, options);
+  EXPECT_EQ(a.region, b.region);
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(Placement, Preconditions) {
+  const Hypergraph h = test::path_hypergraph(8);
+  PlacementOptions options;
+  options.grid_cols = 3;  // not a power of two
+  EXPECT_THROW((void)place_mincut(h, options), PreconditionError);
+  options.grid_cols = 8;
+  options.grid_rows = 8;  // 64 regions > 8 modules
+  EXPECT_THROW((void)place_mincut(h, options), PreconditionError);
+  EXPECT_THROW((void)place_random(h, 0, 1, 1), PreconditionError);
+}
+
+TEST(Placement, HpwlOfKnownLayout) {
+  // Two modules at region centers (0.5, 0.5) and (1.5, 0.5): HPWL = 1.
+  HypergraphBuilder b;
+  b.add_vertices(2);
+  b.add_edge({0, 1});
+  const Hypergraph h = std::move(b).build();
+  Placement p;
+  p.grid_cols = 2;
+  p.grid_rows = 1;
+  p.region = {0, 1};
+  p.x = {0.5, 1.5};
+  p.y = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(half_perimeter_wirelength(h, p), 1.0);
+  EXPECT_EQ(spanning_nets(h, p), 1U);
+}
+
+TEST(Placement, TrivialNetsContributeNothing) {
+  HypergraphBuilder b;
+  b.add_vertices(4);
+  b.add_edge({0});
+  b.add_edge({0, 1});
+  const Hypergraph h = std::move(b).build();
+  const Placement p = place_random(h, 2, 1, 3);
+  // Only the 2-pin net contributes; HPWL finite and >= 0.
+  EXPECT_GE(half_perimeter_wirelength(h, p), 0.0);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,195 @@
+/// Parameterized property sweeps across instance families and seeds:
+/// the cross-module invariants of DESIGN.md §5, exercised wider than the
+/// per-module unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/fm.hpp"
+#include "baselines/kl.hpp"
+#include "baselines/sa.hpp"
+#include "core/algorithm1.hpp"
+#include "core/boundary.hpp"
+#include "core/complete_cut.hpp"
+#include "core/intersection.hpp"
+#include "gen/circuit.hpp"
+#include "gen/planted.hpp"
+#include "gen/random_hypergraph.hpp"
+#include "graph/bfs.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/components.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Pipeline invariants on random hypergraphs: (size, seed) sweep.
+// ---------------------------------------------------------------------
+
+class PipelineProperty
+    : public testing::TestWithParam<std::tuple<VertexId, std::uint64_t>> {};
+
+TEST_P(PipelineProperty, DualCutInvariants) {
+  const auto [n, seed] = GetParam();
+  RandomHypergraphParams params;
+  params.num_vertices = n;
+  params.num_edges = static_cast<EdgeId>(n * 3 / 2);
+  params.max_edge_size = 4;
+  params.max_degree = 6;
+  const Hypergraph h = random_hypergraph(params, seed);
+  const Graph g = intersection_graph(h);
+  if (g.num_vertices() < 2 || !is_connected(g)) {
+    GTEST_SKIP() << "disconnected dual";
+  }
+
+  const DiameterPair pair = longest_path_from(g, 0, 2);
+  const BidirectionalCut cut = bidirectional_bfs_cut(g, pair.s, pair.t);
+  const BoundaryStructure b = extract_boundary(g, cut.side);
+
+  // (1) boundary graph is bipartite under its recorded sides;
+  EXPECT_TRUE(is_bipartite(b.boundary_graph));
+  // (2) greedy completion is a valid independent-set/cover labelling;
+  const CompletionResult greedy = complete_cut_greedy(b.boundary_graph);
+  validate_completion(b.boundary_graph, greedy);
+  // (3) exact completion is no worse; greedy tracks it closely. (The
+  // paper's within-1 theorem does not hold verbatim on every bipartite
+  // boundary graph — see EXPERIMENTS.md C4 — but the gap stays small.)
+  const CompletionResult exact =
+      complete_cut_exact(b.boundary_graph, b.boundary_side);
+  EXPECT_LE(exact.loser_count, greedy.loser_count);
+  const VertexId comps = connected_components(b.boundary_graph).count();
+  const VertexId slack = std::max<VertexId>(2, exact.loser_count / 4);
+  EXPECT_LE(greedy.loser_count, exact.loser_count + comps + slack);
+}
+
+TEST_P(PipelineProperty, EndToEndResultValid) {
+  const auto [n, seed] = GetParam();
+  RandomHypergraphParams params;
+  params.num_vertices = n;
+  params.num_edges = static_cast<EdgeId>(n * 3 / 2);
+  params.max_edge_size = 4;
+  params.max_degree = 6;
+  const Hypergraph h = random_hypergraph(params, seed);
+  Algorithm1Options options;
+  options.num_starts = 8;
+  options.seed = seed;
+  const Algorithm1Result r = algorithm1(h, options);
+  ASSERT_EQ(r.sides.size(), h.num_vertices());
+  EXPECT_TRUE(r.metrics.proper);
+  EXPECT_EQ(r.metrics.cut_edges, test::count_cut_edges(h, r.sides));
+  // Realized boundary cut never exceeds the loser bound plus dropped nets.
+  if (!r.disconnected_shortcut) {
+    EXPECT_LE(r.metrics.cut_edges, r.loser_count + r.filtered_edges);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, PipelineProperty,
+    testing::Combine(testing::Values<VertexId>(30, 60, 120, 250),
+                     testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+// ---------------------------------------------------------------------
+// Difficult planted instances: Algorithm I recovers the planted cut.
+// ---------------------------------------------------------------------
+
+class PlantedRecovery
+    : public testing::TestWithParam<std::tuple<EdgeId, std::uint64_t>> {};
+
+TEST_P(PlantedRecovery, FindsPlantedOrBetter) {
+  const auto [c, seed] = GetParam();
+  PlantedParams params;
+  params.num_vertices = 200;
+  params.num_edges = 300;
+  params.planted_cut = c;
+  const PlantedInstance inst = planted_instance(params, seed);
+  Algorithm1Options options;
+  options.num_starts = 50;
+  options.seed = seed;
+  const Algorithm1Result r = algorithm1(inst.hypergraph, options);
+  EXPECT_LE(r.metrics.cut_edges, inst.planted_cut)
+      << "planted " << inst.planted_cut;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CutsAndSeeds, PlantedRecovery,
+    testing::Combine(testing::Values<EdgeId>(0, 2, 4, 8),
+                     testing::Values<std::uint64_t>(11, 22, 33)));
+
+// ---------------------------------------------------------------------
+// Baseline structural guarantees on circuit presets.
+// ---------------------------------------------------------------------
+
+class BaselineProperty
+    : public testing::TestWithParam<std::tuple<Technology, std::uint64_t>> {};
+
+TEST_P(BaselineProperty, AllPartitionersReturnValidProperCuts) {
+  const auto [tech, seed] = GetParam();
+  const Hypergraph h = generate_circuit(params_for(tech, 0.3), seed);
+  if (h.num_vertices() < 2) GTEST_SKIP();
+
+  Algorithm1Options a1;
+  a1.num_starts = 10;
+  a1.seed = seed;
+  const Algorithm1Result alg = algorithm1(h, a1);
+  EXPECT_TRUE(alg.metrics.proper);
+  EXPECT_EQ(alg.metrics.cut_edges, test::count_cut_edges(h, alg.sides));
+
+  FmOptions fm;
+  fm.seed = seed;
+  const BaselineResult fm_r = fiduccia_mattheyses(h, fm);
+  EXPECT_TRUE(fm_r.metrics.proper);
+  EXPECT_EQ(fm_r.metrics.cut_edges, test::count_cut_edges(h, fm_r.sides));
+
+  KlOptions kl;
+  kl.seed = seed;
+  const BaselineResult kl_r = kernighan_lin(h, kl);
+  EXPECT_TRUE(kl_r.metrics.proper);
+  EXPECT_LE(kl_r.metrics.cardinality_imbalance, 1U);
+
+  SaOptions sa;
+  sa.seed = seed;
+  sa.moves_per_temperature = 200;
+  sa.max_temperatures = 30;
+  const BaselineResult sa_r = simulated_annealing(h, sa);
+  EXPECT_TRUE(sa_r.metrics.proper);
+  EXPECT_EQ(sa_r.metrics.cut_edges, test::count_cut_edges(h, sa_r.sides));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TechAndSeeds, BaselineProperty,
+    testing::Combine(testing::Values(Technology::kPcb,
+                                     Technology::kStandardCell,
+                                     Technology::kGateArray,
+                                     Technology::kHybrid),
+                     testing::Values<std::uint64_t>(1, 2)));
+
+// ---------------------------------------------------------------------
+// Boundary fraction: |B| / |G| stays bounded as instances grow (paper's
+// corollary — constant expected boundary fraction).
+// ---------------------------------------------------------------------
+
+class BoundaryFraction : public testing::TestWithParam<VertexId> {};
+
+TEST_P(BoundaryFraction, StaysBelowHalf) {
+  const VertexId n = GetParam();
+  const Hypergraph h = generate_circuit(
+      table2_params(n, static_cast<EdgeId>(n * 7 / 4),
+                    Technology::kStandardCell),
+      n);
+  Algorithm1Options options;
+  options.num_starts = 5;
+  Algorithm1Context ctx(h, options);
+  if (ctx.is_degenerate()) GTEST_SKIP();
+  const Algorithm1Result r = ctx.run_single(0);
+  const double fraction = static_cast<double>(r.boundary_size) /
+                          static_cast<double>(ctx.intersection().num_vertices());
+  EXPECT_LT(fraction, 0.55) << "boundary fraction at n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(GrowingSizes, BoundaryFraction,
+                         testing::Values<VertexId>(100, 200, 400, 800));
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,53 @@
+#include "baselines/random_cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(RandomBisection, ExactlyBalancedCounts) {
+  const Hypergraph h = test::path_hypergraph(10);
+  const BaselineResult r = random_bisection(h, 1);
+  EXPECT_EQ(r.metrics.left_count + r.metrics.right_count, 10U);
+  EXPECT_EQ(r.metrics.cardinality_imbalance, 0U);
+  EXPECT_TRUE(r.metrics.proper);
+}
+
+TEST(RandomBisection, OddCountImbalanceOne) {
+  const Hypergraph h = test::path_hypergraph(11);
+  const BaselineResult r = random_bisection(h, 2);
+  EXPECT_EQ(r.metrics.cardinality_imbalance, 1U);
+}
+
+TEST(RandomBisection, DeterministicPerSeed) {
+  const Hypergraph h = test::path_hypergraph(20);
+  EXPECT_EQ(random_bisection(h, 7).sides, random_bisection(h, 7).sides);
+  // Different seeds should (overwhelmingly) differ.
+  EXPECT_NE(random_bisection(h, 7).sides, random_bisection(h, 8).sides);
+}
+
+TEST(RandomBisection, RequiresTwoModules) {
+  HypergraphBuilder b;
+  b.add_vertex();
+  const Hypergraph h = std::move(b).build();
+  EXPECT_THROW((void)random_bisection(h, 1), PreconditionError);
+}
+
+TEST(BestRandomBisection, NeverWorseThanSingle) {
+  const Hypergraph h = test::two_cluster_hypergraph(6, 2);
+  const BaselineResult single = random_bisection(h, 5);
+  const BaselineResult best = best_random_bisection(h, 20, 5);
+  EXPECT_LE(best.metrics.cut_edges, single.metrics.cut_edges);
+  EXPECT_EQ(best.iterations, 20);
+}
+
+TEST(BestRandomBisection, CutMatchesSides) {
+  const Hypergraph h = test::two_cluster_hypergraph(5, 3);
+  const BaselineResult r = best_random_bisection(h, 10, 3);
+  EXPECT_EQ(r.metrics.cut_edges, test::count_cut_edges(h, r.sides));
+}
+
+}  // namespace
+}  // namespace fhp

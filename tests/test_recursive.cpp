@@ -1,0 +1,141 @@
+#include "core/recursive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/circuit.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Recursive, OnePartIsTrivial) {
+  const Hypergraph h = test::path_hypergraph(10);
+  const KWayResult r = recursive_partition(h, 1);
+  EXPECT_EQ(r.cut_edges, 0U);
+  for (std::uint32_t part : r.part) EXPECT_EQ(part, 0U);
+}
+
+TEST(Recursive, TwoPartsMatchesBipartition) {
+  const Hypergraph h = test::path_hypergraph(16);
+  const KWayResult r = recursive_partition(h, 2);
+  EXPECT_EQ(r.cut_edges, 1U);
+  for (std::uint32_t part : r.part) EXPECT_LT(part, 2U);
+}
+
+TEST(Recursive, FourWayOnChain) {
+  const Hypergraph h = test::path_hypergraph(32);
+  const KWayResult r = recursive_partition(h, 4);
+  EXPECT_LE(r.cut_edges, 3U);
+  // All four parts used.
+  std::vector<int> used(4, 0);
+  for (std::uint32_t part : r.part) {
+    ASSERT_LT(part, 4U);
+    used[part] = 1;
+  }
+  EXPECT_EQ(used[0] + used[1] + used[2] + used[3], 4);
+}
+
+TEST(Recursive, OddPartCount) {
+  const Hypergraph h = test::path_hypergraph(30);
+  const KWayResult r = recursive_partition(h, 3);
+  std::vector<VertexId> counts(3, 0);
+  for (std::uint32_t part : r.part) {
+    ASSERT_LT(part, 3U);
+    ++counts[part];
+  }
+  for (VertexId c : counts) EXPECT_GT(c, 0U);
+  EXPECT_LE(r.cut_edges, 2U);
+}
+
+TEST(Recursive, PartsEqualVerticesIsSingletons) {
+  const Hypergraph h = test::path_hypergraph(6);
+  const KWayResult r = recursive_partition(h, 6);
+  std::vector<int> seen(6, 0);
+  for (std::uint32_t part : r.part) ++seen[part];
+  for (int c : seen) EXPECT_EQ(c, 1);
+  EXPECT_EQ(r.cut_edges, h.num_edges());
+}
+
+TEST(Recursive, Preconditions) {
+  const Hypergraph h = test::path_hypergraph(4);
+  EXPECT_THROW((void)recursive_partition(h, 0), PreconditionError);
+  EXPECT_THROW((void)recursive_partition(h, 5), PreconditionError);
+}
+
+TEST(Recursive, WeightsReportedCorrectly) {
+  const Hypergraph h =
+      generate_circuit(table2_params(80, 140, Technology::kPcb), 3);
+  const KWayResult r = recursive_partition(h, 4);
+  std::vector<Weight> weights(4, 0);
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    weights[r.part[v]] += h.vertex_weight(v);
+  }
+  EXPECT_EQ(*std::max_element(weights.begin(), weights.end()),
+            r.max_part_weight);
+  EXPECT_EQ(*std::min_element(weights.begin(), weights.end()),
+            r.min_part_weight);
+}
+
+TEST(Recursive, KWayCutMatchesManualCount) {
+  const Hypergraph h =
+      generate_circuit(table2_params(60, 110, Technology::kGateArray), 9);
+  const KWayResult r = recursive_partition(h, 4);
+  EdgeId manual = 0;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    bool spans = false;
+    const auto pins = h.pins(e);
+    for (VertexId v : pins) {
+      if (r.part[v] != r.part[pins.front()]) spans = true;
+    }
+    if (spans) ++manual;
+  }
+  EXPECT_EQ(r.cut_edges, manual);
+}
+
+TEST(Recursive, RebalanceTightensPartWeights) {
+  const Hypergraph h = generate_circuit(
+      table2_params(400, 700, Technology::kStandardCell), 13);
+  Algorithm1Options base;
+  base.seed = 7;
+  const KWayResult raw = recursive_partition(h, 4, base);
+  RecursiveOptions balanced;
+  balanced.algorithm1 = base;
+  balanced.rebalance = true;
+  balanced.balance_tolerance = 0.08;
+  const KWayResult even = recursive_partition(h, 4, balanced);
+  const Weight raw_spread = raw.max_part_weight - raw.min_part_weight;
+  const Weight even_spread = even.max_part_weight - even.min_part_weight;
+  EXPECT_LE(even_spread, raw_spread);
+  // Within ~2x of the ideal quarter share on each side of the target.
+  EXPECT_LT(static_cast<double>(even.max_part_weight),
+            0.5 * static_cast<double>(h.total_vertex_weight()));
+}
+
+TEST(Recursive, RebalanceKeepsValidParts) {
+  const Hypergraph h = test::path_hypergraph(64);
+  RecursiveOptions options;
+  options.rebalance = true;
+  const KWayResult r = recursive_partition(h, 8, options);
+  std::vector<VertexId> counts(8, 0);
+  for (std::uint32_t part : r.part) {
+    ASSERT_LT(part, 8U);
+    ++counts[part];
+  }
+  for (VertexId c : counts) EXPECT_GT(c, 2U);
+  EXPECT_EQ(r.cut_edges, kway_cut_edges(h, r.part));
+}
+
+TEST(Recursive, DeterministicForSeed) {
+  const Hypergraph h =
+      generate_circuit(table2_params(90, 160, Technology::kStandardCell), 21);
+  Algorithm1Options options;
+  options.seed = 4;
+  const KWayResult a = recursive_partition(h, 4, options);
+  const KWayResult b = recursive_partition(h, 4, options);
+  EXPECT_EQ(a.part, b.part);
+}
+
+}  // namespace
+}  // namespace fhp

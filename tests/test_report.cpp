@@ -1,0 +1,65 @@
+#include "partition/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(CutProfile, CountsBySize) {
+  HypergraphBuilder b;
+  b.add_vertices(6);
+  b.add_edge({0, 1});        // uncut
+  b.add_edge({2, 3});        // cut
+  b.add_edge({0, 1, 2, 3});  // cut
+  const Hypergraph h = std::move(b).build();
+  const Bipartition p(h, {0, 0, 0, 1, 1, 1});
+  const CutProfile profile = cut_profile(p);
+  ASSERT_EQ(profile.nets_of_size.size(), 5U);
+  EXPECT_EQ(profile.nets_of_size[2], 2U);
+  EXPECT_EQ(profile.cut_of_size[2], 1U);
+  EXPECT_EQ(profile.nets_of_size[4], 1U);
+  EXPECT_EQ(profile.cut_of_size[4], 1U);
+  EXPECT_DOUBLE_EQ(profile.crossing_fraction(2), 0.5);
+  EXPECT_DOUBLE_EQ(profile.crossing_fraction(4), 1.0);
+  EXPECT_DOUBLE_EQ(profile.crossing_fraction(3), 0.0);
+  EXPECT_DOUBLE_EQ(profile.crossing_fraction(99), 0.0);
+}
+
+TEST(Analyze, CutNetDetails) {
+  HypergraphBuilder b;
+  b.add_vertices(6);
+  b.add_edge({0, 1});
+  b.add_edge({2, 3});        // cut, minority pins 1
+  b.add_edge({0, 1, 2, 3});  // cut, minority pins 1 (3 left, 1 right? ...)
+  const Hypergraph h = std::move(b).build();
+  const Bipartition p(h, {0, 0, 0, 1, 1, 1});
+  const PartitionReport report = analyze(p);
+  EXPECT_EQ(report.cut_nets, (std::vector<EdgeId>{1, 2}));
+  EXPECT_EQ(report.min_cut_net_size, 2U);
+  EXPECT_EQ(report.max_cut_net_size, 4U);
+  EXPECT_DOUBLE_EQ(report.avg_cut_net_size, 3.0);
+  // Net 1: 1 pin on each side -> minority 1; net 2: 3 left, 1 right -> 1.
+  EXPECT_EQ(report.minority_pins, 2U);
+}
+
+TEST(Analyze, CleanPartition) {
+  const Hypergraph h = test::path_hypergraph(4);
+  const Bipartition p(h, {0, 0, 0, 0});
+  const PartitionReport report = analyze(p);
+  EXPECT_TRUE(report.cut_nets.empty());
+  EXPECT_EQ(report.minority_pins, 0U);
+  EXPECT_NE(to_string(report).find("no crossing nets"), std::string::npos);
+}
+
+TEST(Analyze, ReportStringMentionsKeyNumbers) {
+  const Hypergraph h = test::path_hypergraph(4);
+  const Bipartition p(h, {0, 0, 1, 1});
+  const std::string s = to_string(analyze(p));
+  EXPECT_NE(s.find("crossing nets: 1"), std::string::npos);
+  EXPECT_NE(s.find("2:1/3"), std::string::npos);  // 1 of 3 two-pin nets cut
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,171 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace fhp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_below(1), 0U);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBound)];
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBound * 0.9);
+    EXPECT_LT(c, kSamples / kBound * 1.1);
+  }
+}
+
+TEST(Rng, NextInClosedRange) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.next_in(7, 7), 7);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(17);
+  const double p = 0.25;
+  double sum = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto g = rng.next_geometric(p);
+    EXPECT_GE(g, 1U);
+    sum += static_cast<double>(g);
+  }
+  EXPECT_NEAR(sum / kSamples, 1.0 / p, 0.1);
+}
+
+TEST(Rng, GeometricWithCertainSuccess) {
+  Rng rng(19);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.next_geometric(1.0), 1U);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is astronomically small
+}
+
+TEST(Rng, SampleDistinctBasicProperties) {
+  Rng rng(31);
+  for (std::uint32_t n : {1U, 5U, 20U, 100U}) {
+    for (std::uint32_t k : {0U, 1U, n / 2, n}) {
+      const auto sample = rng.sample_distinct(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint32_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (std::uint32_t x : sample) EXPECT_LT(x, n);
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctRejectsOversizedRequest) {
+  Rng rng(37);
+  EXPECT_THROW((void)rng.sample_distinct(3, 4), PreconditionError);
+}
+
+TEST(Rng, SampleDistinctCoversUniverse) {
+  Rng rng(41);
+  // Sampling 2 of 4 repeatedly should hit every element eventually.
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (std::uint32_t x : rng.sample_distinct(4, 2)) seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 4U);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Splitmix, KnownNonDegenerate) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0U);
+}
+
+}  // namespace
+}  // namespace fhp

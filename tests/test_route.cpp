@@ -1,0 +1,100 @@
+#include "place/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/circuit.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+/// Hand-made placement over a grid.
+Placement make_placement(std::uint32_t cols, std::uint32_t rows,
+                         std::vector<std::uint32_t> region) {
+  Placement p;
+  p.grid_cols = cols;
+  p.grid_rows = rows;
+  p.region = std::move(region);
+  p.x.assign(p.region.size(), 0.0);
+  p.y.assign(p.region.size(), 0.0);
+  for (std::size_t v = 0; v < p.region.size(); ++v) {
+    p.x[v] = p.region[v] % cols + 0.5;
+    p.y[v] = p.region[v] / cols + 0.5;
+  }
+  return p;
+}
+
+TEST(Route, TwoPinStraightNet) {
+  const Hypergraph h = Hypergraph::from_edges(2, {{0, 1}});
+  // Modules in regions (0,0) and (0,2) of a 3x1 grid: 2 crossings.
+  const Placement p = make_placement(3, 1, {0, 2});
+  const RoutingResult r = route_global(h, p);
+  EXPECT_EQ(r.wirelength, 2U);
+  EXPECT_EQ(r.routed_nets, 1U);
+  EXPECT_EQ(r.max_usage, 1U);
+  EXPECT_EQ(r.overflow(0), 2U);
+  EXPECT_EQ(r.overflow(1), 0U);
+}
+
+TEST(Route, LShapeUsesManhattanLength) {
+  const Hypergraph h = Hypergraph::from_edges(2, {{0, 1}});
+  // (0,0) to (1,1) on a 2x2 grid: wirelength 2.
+  const Placement p = make_placement(2, 2, {0, 3});
+  const RoutingResult r = route_global(h, p);
+  EXPECT_EQ(r.wirelength, 2U);
+}
+
+TEST(Route, LocalNetsAreFree) {
+  const Hypergraph h = Hypergraph::from_edges(3, {{0, 1, 2}});
+  const Placement p = make_placement(2, 2, {1, 1, 1});
+  const RoutingResult r = route_global(h, p);
+  EXPECT_EQ(r.wirelength, 0U);
+  EXPECT_EQ(r.routed_nets, 0U);
+}
+
+TEST(Route, CongestionAwareElbowChoice) {
+  // Two identical diagonal nets: the second should take the other elbow,
+  // keeping peak usage at 1.
+  const Hypergraph h = Hypergraph::from_edges(4, {{0, 1}, {2, 3}});
+  const Placement p = make_placement(2, 2, {0, 3, 0, 3});
+  const RoutingResult r = route_global(h, p);
+  EXPECT_EQ(r.wirelength, 4U);
+  EXPECT_EQ(r.max_usage, 1U);
+}
+
+TEST(Route, MultiPinStarFromMedian) {
+  // Net spanning regions 0,1,2 of a 3x1 grid: star hub at the median
+  // (middle) region -> wirelength 2.
+  const Hypergraph h = Hypergraph::from_edges(3, {{0, 1, 2}});
+  const Placement p = make_placement(3, 1, {0, 1, 2});
+  const RoutingResult r = route_global(h, p);
+  EXPECT_EQ(r.wirelength, 2U);
+}
+
+TEST(Route, MincutPlacementRoutesBetterThanRandom) {
+  const Hypergraph h = generate_circuit(
+      table2_params(300, 520, Technology::kStandardCell), 7);
+  PlacementOptions options;
+  options.seed = 7;
+  const RoutingResult mincut = route_global(h, place_mincut(h, options));
+  const RoutingResult random = route_global(h, place_random(h, 4, 4, 7));
+  EXPECT_LT(mincut.wirelength, random.wirelength);
+  EXPECT_LE(mincut.max_usage, random.max_usage);
+}
+
+TEST(Route, SingleRegionGrid) {
+  const Hypergraph h = test::path_hypergraph(5);
+  const Placement p = make_placement(1, 1, {0, 0, 0, 0, 0});
+  const RoutingResult r = route_global(h, p);
+  EXPECT_EQ(r.wirelength, 0U);
+  EXPECT_EQ(r.overflow(0), 0U);
+}
+
+TEST(Route, MismatchedPlacementRejected) {
+  const Hypergraph h = test::path_hypergraph(3);
+  const Placement p = make_placement(2, 1, {0, 1});
+  EXPECT_THROW((void)route_global(h, p), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,74 @@
+#include "baselines/sa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_cut.hpp"
+#include "gen/circuit.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+SaOptions fast_sa(std::uint64_t seed) {
+  SaOptions o;
+  o.seed = seed;
+  o.moves_per_temperature = 400;
+  o.max_temperatures = 60;
+  o.cooling = 0.85;
+  return o;
+}
+
+TEST(Sa, SolvesTwoClusters) {
+  const Hypergraph h = test::two_cluster_hypergraph(6, 2);
+  const BaselineResult r = simulated_annealing(h, fast_sa(1));
+  EXPECT_EQ(r.metrics.cut_edges, 2U);
+  EXPECT_TRUE(r.metrics.proper);
+}
+
+TEST(Sa, BeatsRandomOnChain) {
+  const Hypergraph h = test::path_hypergraph(30);
+  const BaselineResult random = random_bisection(h, 1);
+  const BaselineResult annealed = simulated_annealing(h, fast_sa(1));
+  EXPECT_LT(annealed.metrics.cut_edges, random.metrics.cut_edges);
+}
+
+TEST(Sa, KeepsReasonableBalance) {
+  const Hypergraph h =
+      generate_circuit(table2_params(100, 180, Technology::kPcb), 4);
+  const BaselineResult r = simulated_annealing(h, fast_sa(4));
+  // Soft penalty: imbalance should stay a small fraction of total weight.
+  EXPECT_LT(static_cast<double>(r.metrics.weight_imbalance),
+            0.3 * static_cast<double>(h.total_vertex_weight()));
+}
+
+TEST(Sa, DeterministicPerSeed) {
+  const Hypergraph h = test::two_cluster_hypergraph(5, 2);
+  const BaselineResult a = simulated_annealing(h, fast_sa(7));
+  const BaselineResult b = simulated_annealing(h, fast_sa(7));
+  EXPECT_EQ(a.sides, b.sides);
+}
+
+TEST(Sa, ReportsAttempts) {
+  const Hypergraph h = test::path_hypergraph(10);
+  SaOptions o = fast_sa(3);
+  o.min_temperatures = 2;
+  const BaselineResult r = simulated_annealing(h, o);
+  EXPECT_GE(r.iterations, 2 * o.moves_per_temperature);
+}
+
+TEST(Sa, RejectsBadCooling) {
+  const Hypergraph h = test::path_hypergraph(4);
+  SaOptions o;
+  o.cooling = 1.5;
+  EXPECT_THROW((void)simulated_annealing(h, o), PreconditionError);
+}
+
+TEST(Sa, CutMatchesSides) {
+  const Hypergraph h =
+      generate_circuit(table2_params(60, 110, Technology::kHybrid), 9);
+  const BaselineResult r = simulated_annealing(h, fast_sa(9));
+  EXPECT_EQ(r.metrics.cut_edges, test::count_cut_edges(h, r.sides));
+}
+
+}  // namespace
+}  // namespace fhp

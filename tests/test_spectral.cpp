@@ -1,0 +1,115 @@
+#include "baselines/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.hpp"
+#include "gen/circuit.hpp"
+#include "gen/grid.hpp"
+#include "gen/planted.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Spectral, SolvesTwoClusters) {
+  const Hypergraph h = test::two_cluster_hypergraph(8, 2);
+  const BaselineResult r = spectral_bipartition(h);
+  EXPECT_EQ(r.metrics.cut_edges, 2U);
+  EXPECT_TRUE(r.metrics.proper);
+}
+
+TEST(Spectral, ChainIsOneDimensional) {
+  // The Fiedler vector of a path is monotone: the sweep cut is exact.
+  const Hypergraph h = test::path_hypergraph(40);
+  const BaselineResult r = spectral_bipartition(h);
+  EXPECT_EQ(r.metrics.cut_edges, 1U);
+  EXPECT_LE(r.metrics.cardinality_imbalance, 20U);
+}
+
+TEST(Spectral, MeshNearGeometricFloor) {
+  GridParams params;
+  params.rows = 10;
+  params.cols = 10;
+  const Hypergraph h = grid_circuit(params);
+  const BaselineResult r = spectral_bipartition(h);
+  EXPECT_GE(r.metrics.cut_edges, 10U);
+  EXPECT_LE(r.metrics.cut_edges, 16U);
+}
+
+TEST(Spectral, RecoversPlantedBisection) {
+  PlantedParams params;
+  params.num_vertices = 200;
+  params.num_edges = 300;
+  params.planted_cut = 4;
+  params.min_edge_size = 2;
+  params.max_edge_size = 2;
+  params.max_degree = 0;
+  int found = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const PlantedInstance inst = planted_instance(params, seed);
+    SpectralOptions options;
+    options.seed = seed;
+    const BaselineResult r = spectral_bipartition(inst.hypergraph, options);
+    if (r.metrics.cut_edges <= inst.planted_cut + 2) ++found;
+  }
+  EXPECT_GE(found, 2);  // spectral methods are strong on planted models
+}
+
+TEST(Spectral, NearExactOnSmallInstances) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Hypergraph h =
+        generate_circuit(table2_params(16, 24, Technology::kPcb), seed);
+    SpectralOptions options;
+    options.seed = seed;
+    options.min_side_fraction = 0.05;
+    const BaselineResult spectral = spectral_bipartition(h, options);
+    const BaselineResult exact = exact_bipartition(h);
+    EXPECT_GE(spectral.metrics.cut_edges, exact.metrics.cut_edges);
+    EXPECT_LE(spectral.metrics.cut_edges, exact.metrics.cut_edges + 4)
+        << "seed " << seed;
+  }
+}
+
+TEST(Spectral, BalanceBandRespectedWhenFeasible) {
+  const Hypergraph h =
+      generate_circuit(table2_params(120, 210, Technology::kGateArray), 7);
+  SpectralOptions options;
+  options.min_side_fraction = 0.3;
+  const BaselineResult r = spectral_bipartition(h, options);
+  const double total = static_cast<double>(h.total_vertex_weight());
+  EXPECT_GE(static_cast<double>(std::min(r.metrics.left_weight,
+                                         r.metrics.right_weight)),
+            0.3 * total - 1.0);
+}
+
+TEST(Spectral, DeterministicPerSeed) {
+  const Hypergraph h =
+      generate_circuit(table2_params(80, 140, Technology::kHybrid), 2);
+  SpectralOptions options;
+  options.seed = 5;
+  EXPECT_EQ(spectral_bipartition(h, options).sides,
+            spectral_bipartition(h, options).sides);
+}
+
+TEST(Spectral, Preconditions) {
+  HypergraphBuilder b;
+  b.add_vertex();
+  EXPECT_THROW((void)spectral_bipartition(std::move(b).build()),
+               PreconditionError);
+  const Hypergraph h = test::path_hypergraph(4);
+  SpectralOptions options;
+  options.min_side_fraction = 0.9;
+  EXPECT_THROW((void)spectral_bipartition(h, options), PreconditionError);
+}
+
+TEST(Spectral, EdgelessNetlistStillSplits) {
+  HypergraphBuilder b;
+  b.add_vertices(6);
+  const Hypergraph h = std::move(b).build();
+  const BaselineResult r = spectral_bipartition(h);
+  EXPECT_TRUE(r.metrics.proper);
+  EXPECT_EQ(r.metrics.cut_edges, 0U);
+}
+
+}  // namespace
+}  // namespace fhp

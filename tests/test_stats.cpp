@@ -1,0 +1,102 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, QuantileSingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+}
+
+TEST(Stats, QuantilePreconditions) {
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), PreconditionError);
+  EXPECT_THROW((void)quantile(std::vector<double>{1.0}, 1.5),
+               PreconditionError);
+}
+
+TEST(Stats, GrowthExponentRecoversPower) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x);  // y = 3 x^2
+  }
+  EXPECT_NEAR(fit_growth_exponent(xs, ys), 2.0, 1e-9);
+}
+
+TEST(Stats, GrowthExponentLinear) {
+  const std::vector<double> xs{1, 2, 4, 8};
+  const std::vector<double> ys{5, 10, 20, 40};
+  EXPECT_NEAR(fit_growth_exponent(xs, ys), 1.0, 1e-9);
+}
+
+TEST(Stats, GrowthExponentPreconditions) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)fit_growth_exponent(one, one), PreconditionError);
+  const std::vector<double> bad{1.0, -2.0};
+  const std::vector<double> ok{1.0, 2.0};
+  EXPECT_THROW((void)fit_growth_exponent(bad, ok), PreconditionError);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  const std::vector<double> xs{-1.0, 0.1, 0.5, 0.9, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2U);
+  EXPECT_EQ(h[0], 2U);  // -1.0 clamped in, 0.1
+  EXPECT_EQ(h[1], 3U);  // 0.5, 0.9, 2.0 clamped in
+}
+
+}  // namespace
+}  // namespace fhp

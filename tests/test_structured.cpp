@@ -1,0 +1,116 @@
+#include "gen/structured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/fm.hpp"
+#include "core/algorithm1.hpp"
+#include "core/intersection.hpp"
+#include "graph/components.hpp"
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Adder, StructuralCounts) {
+  const Hypergraph h = ripple_carry_adder(8);
+  EXPECT_EQ(h.num_vertices(), 1U + 8U * 8U);  // cin pad + 8 slices
+  EXPECT_EQ(h.num_edges(), 7U * 8U);
+  h.validate();
+  EXPECT_TRUE(is_connected(intersection_graph(h)));
+}
+
+TEST(Adder, BalancedCutIsTiny) {
+  // Severing the carry chain in the middle cuts O(1) nets.
+  const Hypergraph h = ripple_carry_adder(32);
+  Algorithm1Options options;
+  const Algorithm1Result r = algorithm1(h, options);
+  EXPECT_LE(r.metrics.cut_edges, 4U);
+  EXPECT_LE(r.metrics.cardinality_imbalance,
+            h.num_vertices() / 4);
+}
+
+TEST(Adder, SingleBit) {
+  const Hypergraph h = ripple_carry_adder(1);
+  EXPECT_EQ(h.num_vertices(), 9U);
+  EXPECT_EQ(h.num_edges(), 7U);
+  h.validate();
+}
+
+TEST(Multiplier, StructuralCounts) {
+  const std::uint32_t n = 6;
+  const Hypergraph h = array_multiplier(n);
+  EXPECT_EQ(h.num_vertices(), n * n + 2 * n);
+  // Mesh: 2 * n * (n-1); broadcasts: 2n.
+  EXPECT_EQ(h.num_edges(), 2 * n * (n - 1) + 2 * n);
+  EXPECT_EQ(h.max_edge_size(), n + 1);
+  h.validate();
+}
+
+TEST(Multiplier, BroadcastNetsAreTheLargeTail) {
+  const Hypergraph h = array_multiplier(12);
+  EdgeId big = 0;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    if (h.edge_size(e) > 10) ++big;
+  }
+  EXPECT_EQ(big, 24U);  // exactly the 2n broadcasts
+}
+
+TEST(Multiplier, FilterThresholdHandlesBroadcasts) {
+  // With the default threshold the broadcasts are ignored during
+  // partitioning; the mesh structure still yields a near-geometric cut.
+  const Hypergraph h = array_multiplier(10);
+  Algorithm1Options options;  // threshold 10 < n+1 = 11
+  const Algorithm1Result r = algorithm1(h, options);
+  EXPECT_GT(r.filtered_edges, 0U);
+  EXPECT_TRUE(r.metrics.proper);
+  // Mesh floor is ~n cut forwarding nets, plus crossed broadcasts.
+  EXPECT_LE(r.metrics.cut_edges, 40U);
+}
+
+TEST(Butterfly, StructuralCounts) {
+  const Hypergraph h = butterfly_network(3, 3);
+  EXPECT_EQ(h.num_vertices(), 4U * 8U);
+  // Per stage: 8 straight + 8 cross = 16 nets.
+  EXPECT_EQ(h.num_edges(), 3U * 16U);
+  h.validate();
+}
+
+TEST(Butterfly, BisectionIsExpensive) {
+  // Expander-ish connectivity: any near-balanced cut is Omega(rows); the
+  // similarly sized adder cuts O(1). Use Algorithm I (near-balanced by
+  // construction) for both.
+  const Hypergraph butterfly = butterfly_network(4, 4);  // 80 modules
+  const Hypergraph adder = ripple_carry_adder(10);       // 81 modules
+  Algorithm1Options options;
+  const Algorithm1Result bf = algorithm1(butterfly, options);
+  const Algorithm1Result ad = algorithm1(adder, options);
+  EXPECT_GE(bf.metrics.cut_edges, 10U);  // ~rows = 16 is the true width
+  EXPECT_LE(ad.metrics.cut_edges, 4U);
+}
+
+TEST(HTree, StructuralCounts) {
+  const Hypergraph h = h_tree(4);
+  EXPECT_EQ(h.num_vertices(), 15U);
+  EXPECT_EQ(h.num_edges(), 7U);  // one net per internal node
+  h.validate();
+}
+
+TEST(HTree, CutOneAchievable) {
+  const Hypergraph h = h_tree(7);  // 127 modules
+  Algorithm1Options options;
+  options.num_starts = 50;
+  const Algorithm1Result r = algorithm1(h, options);
+  // Cutting one child net splits off a subtree of ~63 or ~31 modules.
+  EXPECT_LE(r.metrics.cut_edges, 2U);
+}
+
+TEST(Structured, Preconditions) {
+  EXPECT_THROW((void)ripple_carry_adder(0), PreconditionError);
+  EXPECT_THROW((void)array_multiplier(1), PreconditionError);
+  EXPECT_THROW((void)butterfly_network(0, 1), PreconditionError);
+  EXPECT_THROW((void)butterfly_network(2, 0), PreconditionError);
+  EXPECT_THROW((void)h_tree(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsOverlongRows) {
+  AsciiTable t({"only"});
+  EXPECT_THROW(t.add_row({"1", "2"}), PreconditionError);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(AsciiTable({}), PreconditionError);
+}
+
+TEST(AsciiTable, SeparatorInsertsRule) {
+  AsciiTable t({"h"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + top + bottom + one inner separator = 4 rules.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4U);
+}
+
+TEST(AsciiTable, NumFormatsFixed) {
+  EXPECT_EQ(AsciiTable::num(1.234, 2), "1.23");
+  EXPECT_EQ(AsciiTable::num(2.0, 1), "2.0");
+  EXPECT_EQ(AsciiTable::num(0.5), "0.50");
+}
+
+}  // namespace
+}  // namespace fhp

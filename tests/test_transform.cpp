@@ -1,0 +1,160 @@
+#include "hypergraph/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace fhp {
+namespace {
+
+Hypergraph mixed_sizes() {
+  HypergraphBuilder b;
+  b.add_vertices(10);
+  b.add_edge({0, 1});                       // size 2
+  b.add_edge({0, 1, 2, 3});                 // size 4
+  b.add_edge({4});                          // trivial
+  b.add_edge({0, 1, 2, 3, 4, 5, 6, 7, 8});  // size 9
+  b.add_edge({8, 9});                       // size 2
+  return std::move(b).build();
+}
+
+TEST(FilterLargeEdges, DropsAboveThresholdAndTrivial) {
+  const Hypergraph h = mixed_sizes();
+  const EdgeFilterResult r = filter_large_edges(h, 4);
+  EXPECT_EQ(r.hypergraph.num_vertices(), h.num_vertices());
+  ASSERT_EQ(r.hypergraph.num_edges(), 3U);
+  EXPECT_EQ(r.kept_edges, (std::vector<EdgeId>{0, 1, 4}));
+  r.hypergraph.validate();
+}
+
+TEST(FilterLargeEdges, ThresholdTwoKeepsOnlyPairs) {
+  const Hypergraph h = mixed_sizes();
+  const EdgeFilterResult r = filter_large_edges(h, 2);
+  EXPECT_EQ(r.hypergraph.num_edges(), 2U);
+  EXPECT_EQ(r.kept_edges, (std::vector<EdgeId>{0, 4}));
+}
+
+TEST(FilterLargeEdges, RejectsDegenerateThreshold) {
+  const Hypergraph h = mixed_sizes();
+  EXPECT_THROW((void)filter_large_edges(h, 1), PreconditionError);
+}
+
+TEST(FilterTrivialEdges, KeepsEverythingElse) {
+  const Hypergraph h = mixed_sizes();
+  const EdgeFilterResult r = filter_trivial_edges(h);
+  EXPECT_EQ(r.hypergraph.num_edges(), 4U);
+  EXPECT_EQ(r.kept_edges, (std::vector<EdgeId>{0, 1, 3, 4}));
+}
+
+TEST(FilterLargeEdges, PreservesWeights) {
+  HypergraphBuilder b;
+  b.add_vertex(3);
+  b.add_vertex(5);
+  b.add_edge({0, 1}, 9);
+  const Hypergraph h = std::move(b).build();
+  const EdgeFilterResult r = filter_large_edges(h, 8);
+  EXPECT_EQ(r.hypergraph.vertex_weight(0), 3);
+  EXPECT_EQ(r.hypergraph.vertex_weight(1), 5);
+  EXPECT_EQ(r.hypergraph.edge_weight(0), 9);
+}
+
+TEST(Granularize, UnitWeightsUntouched) {
+  const Hypergraph h = test::path_hypergraph(5);
+  const GranularizeResult g = granularize(h, 1);
+  EXPECT_EQ(g.hypergraph.num_vertices(), 5U);
+  EXPECT_EQ(g.hypergraph.num_edges(), h.num_edges());
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.chunks_of[v].size(), 1U);
+    EXPECT_EQ(g.chunk_of[v], v);
+  }
+}
+
+TEST(Granularize, SplitsHeavyModuleIntoChain) {
+  HypergraphBuilder b;
+  b.add_vertex(10);  // heavy
+  b.add_vertex(1);
+  b.add_edge({0, 1});
+  const Hypergraph h = std::move(b).build();
+  const GranularizeResult g = granularize(h, 3, 5);
+  // ceil(10/3) = 4 chunks + 1 untouched module.
+  EXPECT_EQ(g.chunks_of[0].size(), 4U);
+  EXPECT_EQ(g.hypergraph.num_vertices(), 5U);
+  // 3 link nets + 1 original net.
+  EXPECT_EQ(g.hypergraph.num_edges(), 4U);
+  // Chunk weights sum to the original module weight.
+  Weight total = 0;
+  for (VertexId c : g.chunks_of[0]) total += g.hypergraph.vertex_weight(c);
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(g.hypergraph.total_vertex_weight(), 11);
+  // Link nets carry the requested weight.
+  EXPECT_EQ(g.hypergraph.edge_weight(0), 5);
+  g.hypergraph.validate();
+}
+
+TEST(Granularize, ZeroWeightModuleKept) {
+  HypergraphBuilder b;
+  b.add_vertex(0);
+  b.add_vertex(2);
+  b.add_edge({0, 1});
+  const Hypergraph h = std::move(b).build();
+  const GranularizeResult g = granularize(h, 1);
+  EXPECT_EQ(g.chunks_of[0].size(), 1U);
+  EXPECT_EQ(g.hypergraph.num_vertices(), 3U);
+}
+
+TEST(ProjectGranularized, MajorityWeightWins) {
+  HypergraphBuilder b;
+  b.add_vertex(10);
+  b.add_vertex(1);
+  b.add_edge({0, 1});
+  const Hypergraph h = std::move(b).build();
+  const GranularizeResult g = granularize(h, 3);
+  // Put most of module 0's chunks on side 1.
+  std::vector<std::uint8_t> chunk_sides(g.hypergraph.num_vertices(), 0);
+  ASSERT_GE(g.chunks_of[0].size(), 3U);
+  for (std::size_t i = 0; i + 1 < g.chunks_of[0].size(); ++i) {
+    chunk_sides[g.chunks_of[0][i]] = 1;
+  }
+  const auto sides = project_granularized_sides(g, chunk_sides);
+  EXPECT_EQ(sides[0], 1);
+  EXPECT_EQ(sides[1], 0);
+}
+
+TEST(ProjectGranularized, SizeMismatchRejected) {
+  const Hypergraph h = test::path_hypergraph(3);
+  const GranularizeResult g = granularize(h, 1);
+  EXPECT_THROW((void)project_granularized_sides(g, {0}), PreconditionError);
+}
+
+TEST(InducedSubhypergraph, RestrictsPinsAndDropsSmallNets) {
+  // Net {0,1,2}: restricted to {0,1}; net {2,3}: vanishes.
+  const Hypergraph h = Hypergraph::from_edges(4, {{0, 1, 2}, {2, 3}, {0, 1}});
+  std::vector<std::uint8_t> keep{1, 1, 0, 1};
+  const InducedResult r = induced_subhypergraph(h, keep);
+  EXPECT_EQ(r.hypergraph.num_vertices(), 3U);
+  EXPECT_EQ(r.hypergraph.num_edges(), 2U);
+  EXPECT_EQ(r.kept_edges, (std::vector<EdgeId>{0, 2}));
+  EXPECT_EQ(r.vertex_map[2], kInvalidVertex);
+  EXPECT_EQ(r.kept_vertices, (std::vector<VertexId>{0, 1, 3}));
+  r.hypergraph.validate();
+}
+
+TEST(InducedSubhypergraph, KeepNothing) {
+  const Hypergraph h = test::path_hypergraph(3);
+  const InducedResult r =
+      induced_subhypergraph(h, std::vector<std::uint8_t>(3, 0));
+  EXPECT_EQ(r.hypergraph.num_vertices(), 0U);
+  EXPECT_EQ(r.hypergraph.num_edges(), 0U);
+}
+
+TEST(InducedSubhypergraph, KeepAllIsIsomorphic) {
+  const Hypergraph h = test::figure4_hypergraph();
+  const InducedResult r =
+      induced_subhypergraph(h, std::vector<std::uint8_t>(12, 1));
+  EXPECT_EQ(r.hypergraph.num_vertices(), h.num_vertices());
+  EXPECT_EQ(r.hypergraph.num_edges(), h.num_edges());
+  EXPECT_EQ(r.hypergraph.num_pins(), h.num_pins());
+}
+
+}  // namespace
+}  // namespace fhp

@@ -16,6 +16,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("ablation_balance");
 
   print_header("A3 — weight-balance mechanisms on heavy-module circuits");
 

@@ -19,6 +19,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("ablation_completion");
 
   print_header("C4 — Complete-Cut greedy vs exact (König) on real boundaries");
 

@@ -10,6 +10,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("ablation_initialcut");
 
   print_header("A4 — initial-cut strategy: bidirectional BFS vs level sweep");
 

@@ -9,6 +9,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("ablation_starts");
 
   print_header("A1 — multi-start count vs cut quality");
 

@@ -11,6 +11,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("ablation_threshold");
 
   print_header("A2 — large-net threshold sweep");
 

@@ -14,6 +14,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("boundary");
 
   print_header("C3 — boundary fraction |B| / |G| across instance sizes");
 

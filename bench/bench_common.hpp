@@ -1,12 +1,18 @@
 /// \file bench_common.hpp
 /// Shared plumbing for the experiment harness: canonical instance
 /// definitions matching the paper's test suite, baseline invocation
-/// wrappers, and report formatting.
+/// wrappers, report formatting, and the machine-readable run-report
+/// recorder (BENCH_<name>.json artifacts; see docs/observability.md).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "baselines/fm.hpp"
@@ -17,6 +23,8 @@
 #include "gen/circuit.hpp"
 #include "gen/planted.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "obs/report.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -77,63 +85,189 @@ struct TimedRun {
   std::vector<std::uint8_t> sides;
 };
 
-inline TimedRun run_algorithm1(const Hypergraph& h, std::uint64_t seed,
-                               int starts = 50) {
-  Algorithm1Options options;
-  options.seed = seed;
-  options.num_starts = starts;
+/// Per-label sample series collected by measure(); the raw material of the
+/// BENCH_<name>.json artifact.
+class BenchRecorder {
+ public:
+  struct Series {
+    std::vector<double> seconds;
+    std::vector<double> cuts;
+  };
+
+  static BenchRecorder& instance() {
+    static BenchRecorder recorder;
+    return recorder;
+  }
+
+  void add(const std::string& label, double seconds, double cut) {
+    auto [it, inserted] = series_.try_emplace(label);
+    if (inserted) order_.push_back(label);
+    it->second.seconds.push_back(seconds);
+    it->second.cuts.push_back(cut);
+  }
+
+  void clear() {
+    series_.clear();
+    order_.clear();
+  }
+
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+
+  /// Serializes every series as {"label": {"runs", "seconds": {stats},
+  /// "cut": {stats}}, ...} in first-recorded order.
+  [[nodiscard]] std::string to_json() const {
+    auto stats_json = [](const std::vector<double>& xs) {
+      char buffer[160];
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"mean\": %.9g, \"median\": %.9g, \"min\": %.9g, "
+                    "\"max\": %.9g}",
+                    mean(xs), quantile(xs, 0.5), quantile(xs, 0.0),
+                    quantile(xs, 1.0));
+      return std::string(buffer);
+    };
+    std::string out = "{";
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const Series& series = series_.at(order_[i]);
+      if (i > 0) out += ", ";
+      out += "\"" + obs::json_escape(order_[i]) + "\": {\"runs\": " +
+             std::to_string(series.seconds.size()) +
+             ", \"seconds\": " + stats_json(series.seconds) +
+             ", \"cut\": " + stats_json(series.cuts) + "}";
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  BenchRecorder() = default;
+
+  std::unordered_map<std::string, Series> series_;
+  std::vector<std::string> order_;  ///< stable first-recorded label order
+};
+
+/// Times one partitioner invocation and records the sample under \p label.
+/// \p run must return an Algorithm1Result or BaselineResult (anything with
+/// `metrics` and `sides`).
+template <typename RunFn>
+TimedRun measure(const char* label, RunFn&& run) {
   Timer timer;
-  const Algorithm1Result r = algorithm1(h, options);
+  auto r = run();
   TimedRun out;
   out.seconds = timer.seconds();
   out.cut = r.metrics.cut_edges;
   out.metrics = r.metrics;
-  out.sides = r.sides;
+  out.sides = std::move(r.sides);
+  BenchRecorder::instance().add(label, out.seconds,
+                                static_cast<double>(out.cut));
   return out;
+}
+
+inline TimedRun run_algorithm1(const Hypergraph& h, std::uint64_t seed,
+                               int starts = 50) {
+  return measure("alg1", [&] {
+    Algorithm1Options options;
+    options.seed = seed;
+    options.num_starts = starts;
+    return algorithm1(h, options);
+  });
 }
 
 inline TimedRun run_sa(const Hypergraph& h, std::uint64_t seed) {
-  SaOptions options;
-  options.seed = seed;
-  Timer timer;
-  const BaselineResult r = simulated_annealing(h, options);
-  TimedRun out;
-  out.seconds = timer.seconds();
-  out.cut = r.metrics.cut_edges;
-  out.metrics = r.metrics;
-  out.sides = r.sides;
-  return out;
+  return measure("sa", [&] {
+    SaOptions options;
+    options.seed = seed;
+    return simulated_annealing(h, options);
+  });
 }
 
 inline TimedRun run_kl(const Hypergraph& h, std::uint64_t seed) {
-  KlOptions options;
-  options.seed = seed;
-  Timer timer;
-  const BaselineResult r = kernighan_lin(h, options);
-  TimedRun out;
-  out.seconds = timer.seconds();
-  out.cut = r.metrics.cut_edges;
-  out.metrics = r.metrics;
-  out.sides = r.sides;
-  return out;
+  return measure("kl", [&] {
+    KlOptions options;
+    options.seed = seed;
+    return kernighan_lin(h, options);
+  });
 }
 
 inline TimedRun run_fm(const Hypergraph& h, std::uint64_t seed) {
-  FmOptions options;
-  options.seed = seed;
-  Timer timer;
-  const BaselineResult r = fiduccia_mattheyses(h, options);
-  TimedRun out;
-  out.seconds = timer.seconds();
-  out.cut = r.metrics.cut_edges;
-  out.metrics = r.metrics;
-  out.sides = r.sides;
-  return out;
+  return measure("fm", [&] {
+    FmOptions options;
+    options.seed = seed;
+    return fiduccia_mattheyses(h, options);
+  });
 }
 
 /// Prints a titled section header.
 inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n\n", title.c_str());
 }
+
+/// Build/environment fingerprint embedded in every run report, so that two
+/// BENCH_*.json files are only ever compared apples-to-apples.
+inline std::string env_fingerprint_json() {
+  std::string out = "{\"compiler\": \"";
+  out += obs::json_escape(__VERSION__);
+  out += "\", \"cxx_standard\": " + std::to_string(__cplusplus);
+#ifdef NDEBUG
+  out += ", \"assertions\": false";
+#else
+  out += ", \"assertions\": true";
+#endif
+  out += ", \"tracing_compiled\": ";
+  out += (FHP_TRACING_ENABLED != 0) ? "true" : "false";
+  out += ", \"pointer_bits\": " + std::to_string(sizeof(void*) * 8) + "}";
+  return out;
+}
+
+/// RAII run-report scope for a bench executable. Construct first thing in
+/// main(); on destruction it prints the phase tree (tracing builds only)
+/// and writes BENCH_<name>.json — per-label timing/cut stats from every
+/// measure() call plus the phase tree, counters and the env fingerprint —
+/// into $FHP_BENCH_JSON_DIR (default: the working directory).
+class BenchSession {
+ public:
+  explicit BenchSession(std::string name) : name_(std::move(name)) {
+    obs::reset();
+    BenchRecorder::instance().clear();
+  }
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  ~BenchSession() { finish(); }
+
+  /// Idempotent; called automatically on destruction.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    const obs::TraceReport report = obs::snapshot();
+    if (report.tracing_compiled && !report.spans.empty()) {
+      std::printf("\n%s", obs::to_tree_string(report).c_str());
+    }
+
+    std::string json = "{\"bench\": \"" + obs::json_escape(name_) + "\"";
+    json += ", \"generated_unix\": " +
+            std::to_string(static_cast<long long>(std::time(nullptr)));
+    json += ", \"env\": " + env_fingerprint_json();
+    json += ", \"series\": " + BenchRecorder::instance().to_json();
+    json += ", \"trace\": " + obs::to_json(report) + "}\n";
+
+    const char* dir = std::getenv("FHP_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/BENCH_" +
+        name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write run report %s\n",
+                   path.c_str());
+      return;
+    }
+    out << json;
+    std::printf("run report written to %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  bool finished_ = false;
+};
 
 }  // namespace fhp::bench

@@ -14,6 +14,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("crossing_prob");
 
   print_header("C1 — P(net of size k crosses the best cut) vs 1 - O(2^-k)");
 

@@ -20,6 +20,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("diameter");
 
   print_header("C2 — BFS depth vs exact diameter; diam = O(log n)");
 

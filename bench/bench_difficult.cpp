@@ -13,6 +13,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("difficult");
 
   print_header("C5 — planted difficult instances: who finds the min cut?");
 

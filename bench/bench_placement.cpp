@@ -13,6 +13,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("placement");
 
   print_header("Placement — engine comparison (4x4 grid, HPWL)");
 

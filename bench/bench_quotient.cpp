@@ -13,6 +13,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("quotient");
 
   print_header("Quotient cut — objective study across technologies");
 

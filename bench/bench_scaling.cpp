@@ -104,6 +104,7 @@ BENCHMARK(BM_SimulatedAnnealing)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  fhp::bench::BenchSession session("scaling");
   growth_report();
   print_header("C6b — wall-clock comparison at IC1 size (561 modules)");
   benchmark::Initialize(&argc, argv);

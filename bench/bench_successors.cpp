@@ -13,6 +13,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("successors");
 
   print_header("Successors — Alg I vs FM vs Alg I+FM vs multilevel");
 

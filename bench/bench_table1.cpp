@@ -50,6 +50,7 @@ double crossing_percent(const Hypergraph& h,
 }  // namespace
 
 int main() {
+  fhp::bench::BenchSession session("table1");
   print_header(
       "Table 1 — % of large signals crossing the best SA partition "
       "(10 SA runs per example)");

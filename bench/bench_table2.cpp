@@ -14,6 +14,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("table2");
 
   print_header(
       "Table 2 — normalized cutsize: Algorithm I vs SA vs MinCut-KL");

@@ -14,6 +14,7 @@
 int main() {
   using namespace fhp;
   using namespace fhp::bench;
+  fhp::bench::BenchSession session("topologies");
 
   print_header("Topologies — cutsize by circuit structure");
 

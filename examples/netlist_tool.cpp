@@ -16,6 +16,9 @@
 ///     --seed S                    RNG seed            (default 1)
 ///     --output FILE               write partition file
 ///     --refine                    FM-refine the result
+///     --trace                     print the phase tree + counters
+///     --json FILE                 write the trace report as JSON
+///     --chrome-trace FILE         write a chrome://tracing event file
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +37,7 @@
 #include "hypergraph/bookshelf.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
+#include "obs/report.hpp"
 #include "partition/report.hpp"
 #include "util/timer.hpp"
 
@@ -48,12 +52,15 @@ struct CliOptions {
   std::string completion = "greedy";
   std::string objective = "cut";
   std::string output;
+  std::string json_path;
+  std::string chrome_trace_path;
   int starts = 50;
   std::uint32_t kway = 2;
   std::uint32_t threshold = 10;
   std::uint64_t seed = 1;
   bool refine = false;
   bool verbose = false;
+  bool trace = false;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -77,7 +84,10 @@ void print_usage() {
       "  --seed S                  RNG seed (default 1)\n"
       "  --output FILE             write the partition (one 0/1 per line)\n"
       "  --refine                  FM-refine the chosen partition\n"
-      "  --verbose                 print the full cut analysis\n");
+      "  --verbose                 print the full cut analysis\n"
+      "  --trace                   print the phase tree and counters\n"
+      "  --json FILE               write the trace report as JSON\n"
+      "  --chrome-trace FILE       write a chrome://tracing event file\n");
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -115,6 +125,12 @@ CliOptions parse(int argc, char** argv) {
       options.refine = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--chrome-trace") {
+      options.chrome_trace_path = value();
     } else if (!arg.empty() && arg[0] == '-') {
       usage_error("unknown option " + arg);
     } else if (options.input.empty()) {
@@ -183,6 +199,46 @@ std::vector<std::uint8_t> run(const CliOptions& cli, const Hypergraph& h) {
   usage_error("unknown algorithm " + cli.algorithm);
 }
 
+/// Writes \p text to \p path; returns false (with a message) on failure.
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  std::printf("%s written to %s\n", what, path.c_str());
+  return true;
+}
+
+/// Emits the phase tree / JSON / Chrome trace requested on the command
+/// line. Returns false if a requested file could not be written.
+bool emit_observability(const CliOptions& cli) {
+  if (!cli.trace && cli.json_path.empty() && cli.chrome_trace_path.empty()) {
+    return true;
+  }
+  const obs::TraceReport report = obs::snapshot();
+  if (cli.trace) {
+    if (report.tracing_compiled) {
+      std::printf("\n%s", obs::to_tree_string(report).c_str());
+    } else {
+      std::printf("\n(tracing compiled out; rebuild with "
+                  "-DFHP_ENABLE_TRACING=ON for the phase tree)\n");
+    }
+  }
+  bool ok = true;
+  if (!cli.json_path.empty()) {
+    ok &= write_text_file(cli.json_path, obs::to_json(report),
+                          "trace report");
+  }
+  if (!cli.chrome_trace_path.empty()) {
+    ok &= write_text_file(cli.chrome_trace_path, obs::to_chrome_trace(report),
+                          "chrome trace");
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,7 +291,7 @@ int main(int argc, char** argv) {
         for (std::uint32_t part : r.part) out << part << '\n';
         std::printf("part ids written to %s\n", cli.output.c_str());
       }
-      return 0;
+      return emit_observability(cli) ? 0 : 1;
     }
 
     Timer timer;
@@ -266,6 +322,7 @@ int main(int argc, char** argv) {
       write_partition(out, sides);
       std::printf("partition written to %s\n", cli.output.c_str());
     }
+    if (!emit_observability(cli)) return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/maxflow.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +46,8 @@ struct CutResult {
 
 CutResult solve_cut(const Hypergraph& h, const std::vector<std::uint8_t>& in_s,
                     const std::vector<std::uint8_t>& in_t) {
+  FHP_TRACE_SCOPE("maxflow_solve");
+  FHP_COUNTER_ADD("flow/maxflow_solves", 1);
   const std::uint32_t n = h.num_vertices();
   const std::uint32_t super_s = n + 2 * h.num_edges();
   const std::uint32_t super_t = super_s + 1;
@@ -139,6 +143,8 @@ std::vector<std::uint8_t> fbb(const Hypergraph& h, VertexId s, VertexId t,
 
 BaselineResult flow_bipartition(const Hypergraph& h,
                                 const FlowOptions& options) {
+  FHP_TRACE_SCOPE("flow");
+  FHP_COUNTER_ADD("flow/runs", 1);
   FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.pairs >= 1, "need at least one terminal pair");
   FHP_REQUIRE(options.balance_fraction > 0.0 &&
@@ -182,6 +188,7 @@ BaselineResult flow_bipartition(const Hypergraph& h,
     // Only reachable on degenerate inputs; fall back to a random bisection.
     best = random_bisection(h, options.seed);
   }
+  FHP_COUNTER_ADD("flow/terminal_pairs", solved);
   best.iterations = solved;
   return best;
 }

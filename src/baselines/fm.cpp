@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
@@ -80,6 +82,10 @@ class FmPass {
         best_prefix = moves.size();
       }
     }
+
+    FHP_COUNTER_ADD("fm/moves", static_cast<long long>(moves.size()));
+    FHP_COUNTER_ADD("fm/moves_rolled_back",
+                    static_cast<long long>(moves.size() - best_prefix));
 
     // Roll back to the best prefix.
     while (moves.size() > best_prefix) {
@@ -163,6 +169,8 @@ class FmPass {
 
 BaselineResult fiduccia_mattheyses(const Hypergraph& h,
                                    const FmOptions& options) {
+  FHP_TRACE_SCOPE("fm");
+  FHP_COUNTER_ADD("fm/runs", 1);
   FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.max_passes >= 1, "need at least one pass");
 
@@ -201,6 +209,7 @@ BaselineResult fiduccia_mattheyses(const Hypergraph& h,
     FmPass pass(p, tolerance, moves_budget, options.fixed);
     if (!pass.run()) break;
   }
+  FHP_COUNTER_ADD("fm/passes", passes);
   result.sides = p.sides();
   result.metrics = compute_metrics(p);
   result.iterations = passes;

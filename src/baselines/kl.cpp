@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 
 namespace fhp {
@@ -43,6 +45,8 @@ VertexId best_on_side(const Bipartition& p,
 }  // namespace
 
 BaselineResult kernighan_lin(const Hypergraph& h, const KlOptions& options) {
+  FHP_TRACE_SCOPE("kl");
+  FHP_COUNTER_ADD("kl/runs", 1);
   FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.max_passes >= 1, "need at least one pass");
 
@@ -86,6 +90,9 @@ BaselineResult kernighan_lin(const Hypergraph& h, const KlOptions& options) {
       }
     }
 
+    FHP_COUNTER_ADD("kl/swaps", static_cast<long long>(swaps.size()));
+    FHP_COUNTER_ADD("kl/swaps_rolled_back",
+                    static_cast<long long>(swaps.size() - best_prefix));
     while (swaps.size() > best_prefix) {
       const auto [a, b] = swaps.back();
       swaps.pop_back();
@@ -94,6 +101,7 @@ BaselineResult kernighan_lin(const Hypergraph& h, const KlOptions& options) {
     }
     if (best_cut >= start_cut) break;
   }
+  FHP_COUNTER_ADD("kl/passes", passes);
 
   BaselineResult result;
   result.sides = p.sides();

@@ -5,6 +5,8 @@
 
 #include "baselines/fm.hpp"
 #include "hypergraph/contract.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
@@ -82,6 +84,8 @@ std::pair<std::vector<VertexId>, VertexId> heavy_edge_matching(
 
 BaselineResult multilevel_bipartition(const Hypergraph& h,
                                       const MultilevelOptions& options) {
+  FHP_TRACE_SCOPE("multilevel");
+  FHP_COUNTER_ADD("multilevel/runs", 1);
   FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.coarsest_size >= 2, "coarsest size must be >= 2");
   FHP_REQUIRE(options.initial_attempts >= 1, "need at least one attempt");
@@ -93,21 +97,26 @@ BaselineResult multilevel_bipartition(const Hypergraph& h,
   // so it must never reallocate.
   levels.reserve(65);
   const Hypergraph* current = &h;
-  while (current->num_vertices() > options.coarsest_size &&
-         levels.size() + 1 < levels.capacity()) {
-    auto [cluster, count] = heavy_edge_matching(*current, options, rng);
-    if (static_cast<double>(count) >
-        options.min_shrink * static_cast<double>(current->num_vertices())) {
-      break;  // matching stalled (e.g. star-shaped netlists)
+  {
+    FHP_TRACE_SCOPE("coarsen");
+    while (current->num_vertices() > options.coarsest_size &&
+           levels.size() + 1 < levels.capacity()) {
+      auto [cluster, count] = heavy_edge_matching(*current, options, rng);
+      if (static_cast<double>(count) >
+          options.min_shrink * static_cast<double>(current->num_vertices())) {
+        break;  // matching stalled (e.g. star-shaped netlists)
+      }
+      levels.push_back(contract(*current, std::move(cluster), count));
+      current = &levels.back().hypergraph;
     }
-    levels.push_back(contract(*current, std::move(cluster), count));
-    current = &levels.back().hypergraph;
   }
+  FHP_COUNTER_ADD("multilevel/levels", static_cast<long long>(levels.size()));
 
   // ---- Initial partition at the coarsest level.
   const Hypergraph& coarsest = *current;
   std::vector<std::uint8_t> sides;
   {
+    FHP_TRACE_SCOPE("initial_partition");
     Weight best_cut = 0;
     Weight best_imbalance = 0;
     for (int attempt = 0; attempt < options.initial_attempts; ++attempt) {
@@ -126,16 +135,19 @@ BaselineResult multilevel_bipartition(const Hypergraph& h,
   }
 
   // ---- Uncoarsening phase: project and refine level by level.
-  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-    sides = project_sides(it->cluster, sides);
-    const Hypergraph& fine =
-        (it + 1 == levels.rend()) ? h : (it + 1)->hypergraph;
-    FmOptions fm;
-    fm.seed = rng();
-    fm.initial = sides;
-    fm.max_passes = options.refine_passes;
-    fm.max_weight_imbalance = options.max_weight_imbalance;
-    sides = fiduccia_mattheyses(fine, fm).sides;
+  {
+    FHP_TRACE_SCOPE("uncoarsen");
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+      sides = project_sides(it->cluster, sides);
+      const Hypergraph& fine =
+          (it + 1 == levels.rend()) ? h : (it + 1)->hypergraph;
+      FmOptions fm;
+      fm.seed = rng();
+      fm.initial = sides;
+      fm.max_passes = options.refine_passes;
+      fm.max_weight_imbalance = options.max_weight_imbalance;
+      sides = fiduccia_mattheyses(fine, fm).sides;
+    }
   }
   BaselineResult result;
   result.sides = std::move(sides);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
@@ -33,6 +35,8 @@ double move_delta(Bipartition& p, VertexId v, Weight tolerance,
 
 BaselineResult simulated_annealing(const Hypergraph& h,
                                    const SaOptions& options) {
+  FHP_TRACE_SCOPE("sa");
+  FHP_COUNTER_ADD("sa/runs", 1);
   FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.cooling > 0.0 && options.cooling < 1.0,
               "cooling factor must be in (0, 1)");
@@ -79,7 +83,10 @@ BaselineResult simulated_annealing(const Hypergraph& h,
   double best_cost = state_cost(p, tolerance, penalty);
   long attempts = 0;
 
+  long total_accepted = 0;
+  int temperatures = 0;
   for (int step = 0; step < options.max_temperatures; ++step) {
+    ++temperatures;
     long accepted = 0;
     for (long i = 0; i < moves_per_t; ++i) {
       ++attempts;
@@ -96,6 +103,7 @@ BaselineResult simulated_annealing(const Hypergraph& h,
         }
       }
     }
+    total_accepted += accepted;
     temperature *= options.cooling;
     const double acceptance =
         static_cast<double>(accepted) / static_cast<double>(moves_per_t);
@@ -105,6 +113,9 @@ BaselineResult simulated_annealing(const Hypergraph& h,
     }
   }
 
+  FHP_COUNTER_ADD("sa/attempts", attempts);
+  FHP_COUNTER_ADD("sa/accepted", total_accepted);
+  FHP_COUNTER_ADD("sa/temperatures", temperatures);
   best.metrics = compute_metrics(Bipartition(h, best.sides));
   best.iterations = attempts;
   return best;

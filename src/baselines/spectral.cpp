@@ -5,6 +5,8 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
@@ -120,6 +122,8 @@ std::vector<double> fiedler_vector(const WeightedGraph& g, int iterations,
 
 BaselineResult spectral_bipartition(const Hypergraph& h,
                                     const SpectralOptions& options) {
+  FHP_TRACE_SCOPE("spectral");
+  FHP_COUNTER_ADD("spectral/runs", 1);
   FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.iterations >= 1, "need at least one iteration");
   FHP_REQUIRE(options.min_side_fraction > 0.0 &&
@@ -127,9 +131,15 @@ BaselineResult spectral_bipartition(const Hypergraph& h,
               "side fraction must be in (0, 0.5]");
   Rng rng(options.seed);
 
-  const WeightedGraph g = clique_expand(h, options.clique_net_cap);
-  const std::vector<double> fiedler =
-      fiedler_vector(g, options.iterations, rng);
+  const WeightedGraph g = [&] {
+    FHP_TRACE_SCOPE("clique_expand");
+    return clique_expand(h, options.clique_net_cap);
+  }();
+  const std::vector<double> fiedler = [&] {
+    FHP_TRACE_SCOPE("fiedler");
+    FHP_COUNTER_ADD("spectral/power_iterations", options.iterations);
+    return fiedler_vector(g, options.iterations, rng);
+  }();
 
   // Sweep cut: order modules by Fiedler value and take the best prefix
   // within the balance band. The incremental Bipartition makes the whole

@@ -9,6 +9,8 @@
 #include "graph/bfs.hpp"
 #include "graph/components.hpp"
 #include "hypergraph/transform.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace fhp {
@@ -79,21 +81,32 @@ Algorithm1Context::Algorithm1Context(const Hypergraph& h,
     : h_(&h), options_(options) {
   FHP_REQUIRE(h.num_vertices() >= 2,
               "a proper cut needs at least two modules");
-  if (options.large_edge_threshold > 0) {
-    FHP_REQUIRE(options.large_edge_threshold >= 2,
-                "a net-size threshold below 2 drops every net");
-    filtered_ = filter_large_edges(h, options.large_edge_threshold).hypergraph;
-  } else {
-    filtered_ = filter_trivial_edges(h).hypergraph;
+  {
+    FHP_TRACE_SCOPE("filter");
+    if (options.large_edge_threshold > 0) {
+      FHP_REQUIRE(options.large_edge_threshold >= 2,
+                  "a net-size threshold below 2 drops every net");
+      filtered_ =
+          filter_large_edges(h, options.large_edge_threshold).hypergraph;
+    } else {
+      filtered_ = filter_trivial_edges(h).hypergraph;
+    }
   }
+  FHP_COUNTER_ADD("alg1/filtered_nets",
+                  static_cast<long long>(filtered_edge_count()));
   g_ = intersection_graph(filtered_);
-  const Components comps = connected_components(g_);
-  g_component_ = comps.label;
-  g_component_count_ = comps.count();
+  {
+    FHP_TRACE_SCOPE("components");
+    const Components comps = connected_components(g_);
+    g_component_ = comps.label;
+    g_component_count_ = comps.count();
+  }
   degenerate_ = (g_.num_vertices() == 0) || (g_component_count_ > 1);
 }
 
 Algorithm1Result Algorithm1Context::run_degenerate() const {
+  FHP_TRACE_SCOPE("degenerate");
+  FHP_COUNTER_ADD("alg1/degenerate_shortcuts", 1);
   const Hypergraph& h = *h_;
   Algorithm1Result result;
   result.disconnected_shortcut = true;
@@ -143,6 +156,7 @@ Algorithm1Result Algorithm1Context::run_degenerate() const {
       Algorithm1Options inner_options = options_;
       std::uint64_t sm = options_.seed;
       inner_options.seed = splitmix64(sm);
+      inner_options.collect_trace = false;  // snapshots only at top level
       const Algorithm1Result inner = algorithm1(sub.hypergraph, inner_options);
       std::vector<VertexId> half0;
       std::vector<VertexId> half1;
@@ -186,6 +200,7 @@ Algorithm1Result Algorithm1Context::run_degenerate() const {
 }
 
 Algorithm1Result Algorithm1Context::run_floating_split() const {
+  FHP_TRACE_SCOPE("floating_split");
   const Hypergraph& h = *h_;
   Algorithm1Result result;
   result.filtered_edges = filtered_edge_count();
@@ -223,6 +238,7 @@ Algorithm1Result Algorithm1Context::run_floating_split() const {
 Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
   FHP_REQUIRE(!degenerate_, "degenerate instance: use run_degenerate()");
   FHP_REQUIRE(start < g_.num_vertices(), "start vertex out of range");
+  FHP_COUNTER_ADD("alg1/starts_examined", 1);
   const Hypergraph& h = *h_;
 
   Algorithm1Result result;
@@ -244,7 +260,10 @@ Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
       balance_assign(h, all, sides, weights);
     }
     ensure_proper(h, sides);
-    result.metrics = compute_metrics(Bipartition(h, sides));
+    {
+      FHP_TRACE_SCOPE("score");
+      result.metrics = compute_metrics(Bipartition(h, sides));
+    }
     result.starts_run = 1;
     return result;
   }
@@ -253,6 +272,7 @@ Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
   const DiameterPair pair =
       longest_path_from(g_, start, options_.bfs_sweeps);
   FHP_ASSERT(pair.s != pair.t, "connected G with >= 2 vertices expected");
+  FHP_GAUGE_SET("alg1/pseudo_diameter", pair.distance);
 
   if (options_.initial_cut == InitialCutStrategy::kLevelSweep) {
     // Try every BFS level-prefix cut from pair.s and keep the best
@@ -260,7 +280,10 @@ Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
     // end-of-sweep positions (slicing one corner off), so candidates with
     // a lighter side below a quarter of the total weight only win when no
     // balanced prefix exists.
-    const BfsResult levels = bfs(g_, pair.s);
+    const BfsResult levels = [&] {
+      FHP_TRACE_SCOPE("initial_cut");
+      return bfs(g_, pair.s);
+    }();
     const Weight total = h.total_vertex_weight();
     Algorithm1Result best;
     bool have_best = false;
@@ -318,20 +341,26 @@ Algorithm1Result Algorithm1Context::complete_from_cut(
 
   const BoundaryStructure boundary = extract_boundary(g_, std::move(g_side));
   result.boundary_size = boundary.size();
+  FHP_COUNTER_ADD("alg1/boundary_nodes",
+                  static_cast<long long>(boundary.size()));
+  FHP_GAUGE_SET("alg1/boundary_size", boundary.size());
 
   std::vector<std::uint8_t> forced(h.num_vertices(), kFree);
-  for (VertexId v = 0; v < h.num_vertices(); ++v) {
-    if (v < filtered_.num_vertices() && filtered_.degree(v) > 0) {
-      forced[v] = kPending;
+  {
+    FHP_TRACE_SCOPE("assemble");
+    for (VertexId v = 0; v < h.num_vertices(); ++v) {
+      if (v < filtered_.num_vertices() && filtered_.degree(v) > 0) {
+        forced[v] = kPending;
+      }
     }
-  }
-  for (EdgeId e = 0; e < filtered_.num_edges(); ++e) {
-    if (boundary.is_boundary[e]) continue;
-    const std::uint8_t s = boundary.g_side[e];
-    for (VertexId v : filtered_.pins(e)) {
-      FHP_ASSERT(forced[v] == kPending || forced[v] == s,
-                 "module forced to both sides by non-boundary nets");
-      forced[v] = s;
+    for (EdgeId e = 0; e < filtered_.num_edges(); ++e) {
+      if (boundary.is_boundary[e]) continue;
+      const std::uint8_t s = boundary.g_side[e];
+      for (VertexId v : filtered_.pins(e)) {
+        FHP_ASSERT(forced[v] == kPending || forced[v] == s,
+                   "module forced to both sides by non-boundary nets");
+        forced[v] = s;
+      }
     }
   }
 
@@ -370,62 +399,75 @@ Algorithm1Result Algorithm1Context::complete_from_cut(
   }
   result.winner_count = completion.winner_count;
   result.loser_count = completion.loser_count;
+  FHP_COUNTER_ADD("alg1/completion_winners",
+                  static_cast<long long>(completion.winner_count));
+  FHP_COUNTER_ADD("alg1/completion_losers",
+                  static_cast<long long>(completion.loser_count));
 
   // --- Step 5: assemble module sides. Winner nets force their pins.
   std::vector<std::uint8_t>& sides = result.sides;
-  std::vector<VertexId> unforced;
-  for (VertexId v = 0; v < h.num_vertices(); ++v) {
-    if (forced[v] == kSide0 || forced[v] == kSide1) {
-      sides[v] = forced[v];
-      continue;
-    }
-    if (forced[v] == kFree) {
-      unforced.push_back(v);
-      continue;
-    }
-    // Pending: adopt the side of a winner net touching it, if any.
-    std::uint8_t chosen = kPending;
-    for (EdgeId e : filtered_.nets_of(v)) {
-      const VertexId b = boundary.boundary_index[e];
-      FHP_ASSERT(b != kInvalidVertex,
-                 "pending module must only touch boundary nets");
-      if (completion.winner[b]) {
-        const std::uint8_t s = boundary.boundary_side[b];
-        FHP_ASSERT(chosen == kPending || chosen == s,
-                   "winners on both sides share a module");
-        chosen = s;
-      }
-    }
-    if (chosen == kPending) {
-      // Touched only by loser nets: free to go wherever balance wants.
-      if (options_.balance_free_vertices) {
-        unforced.push_back(v);
-      } else {
-        sides[v] = boundary.g_side[filtered_.nets_of(v).front()];
-      }
-    } else {
-      sides[v] = chosen;
-    }
-  }
   {
-    std::vector<std::uint8_t> is_unforced(h.num_vertices(), 0);
-    for (VertexId u : unforced) is_unforced[u] = 1;
-    Weight weights[2] = {0, 0};
+    FHP_TRACE_SCOPE("assemble");
+    std::vector<VertexId> unforced;
     for (VertexId v = 0; v < h.num_vertices(); ++v) {
-      if (!is_unforced[v]) weights[sides[v]] += h.vertex_weight(v);
+      if (forced[v] == kSide0 || forced[v] == kSide1) {
+        sides[v] = forced[v];
+        continue;
+      }
+      if (forced[v] == kFree) {
+        unforced.push_back(v);
+        continue;
+      }
+      // Pending: adopt the side of a winner net touching it, if any.
+      std::uint8_t chosen = kPending;
+      for (EdgeId e : filtered_.nets_of(v)) {
+        const VertexId b = boundary.boundary_index[e];
+        FHP_ASSERT(b != kInvalidVertex,
+                   "pending module must only touch boundary nets");
+        if (completion.winner[b]) {
+          const std::uint8_t s = boundary.boundary_side[b];
+          FHP_ASSERT(chosen == kPending || chosen == s,
+                     "winners on both sides share a module");
+          chosen = s;
+        }
+      }
+      if (chosen == kPending) {
+        // Touched only by loser nets: free to go wherever balance wants.
+        if (options_.balance_free_vertices) {
+          unforced.push_back(v);
+        } else {
+          sides[v] = boundary.g_side[filtered_.nets_of(v).front()];
+        }
+      } else {
+        sides[v] = chosen;
+      }
     }
-    balance_assign(h, unforced, sides, weights);
+    {
+      std::vector<std::uint8_t> is_unforced(h.num_vertices(), 0);
+      for (VertexId u : unforced) is_unforced[u] = 1;
+      Weight weights[2] = {0, 0};
+      for (VertexId v = 0; v < h.num_vertices(); ++v) {
+        if (!is_unforced[v]) weights[sides[v]] += h.vertex_weight(v);
+      }
+      balance_assign(h, unforced, sides, weights);
+    }
+    ensure_proper(h, sides);
   }
-  ensure_proper(h, sides);
 
-  result.metrics = compute_metrics(Bipartition(h, sides));
+  {
+    FHP_TRACE_SCOPE("score");
+    result.metrics = compute_metrics(Bipartition(h, sides));
+  }
   result.starts_run = 1;
   return result;
 }
 
-Algorithm1Result algorithm1(const Hypergraph& h,
-                            const Algorithm1Options& options) {
-  FHP_REQUIRE(options.num_starts >= 1, "need at least one start");
+namespace {
+
+/// Body of algorithm1(); split out so the caller can snapshot the tracer
+/// after the root span has closed (an open span has no completed total).
+Algorithm1Result algorithm1_impl(const Hypergraph& h,
+                                 const Algorithm1Options& options) {
   const Algorithm1Context context(h, options);
   if (context.is_degenerate()) {
     Algorithm1Result result = context.run_degenerate();
@@ -471,6 +513,21 @@ Algorithm1Result algorithm1(const Hypergraph& h,
 
   best.starts_run = static_cast<int>(starts.size());
   return best;
+}
+
+}  // namespace
+
+Algorithm1Result algorithm1(const Hypergraph& h,
+                            const Algorithm1Options& options) {
+  FHP_REQUIRE(options.num_starts >= 1, "need at least one start");
+  Algorithm1Result result;
+  {
+    FHP_TRACE_SCOPE("algorithm1");
+    FHP_COUNTER_ADD("alg1/runs", 1);
+    result = algorithm1_impl(h, options);
+  }
+  if (options.collect_trace) result.trace = obs::snapshot();
+  return result;
 }
 
 }  // namespace fhp

@@ -23,6 +23,7 @@
 
 #include "core/complete_cut.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "obs/report.hpp"
 #include "partition/metrics.hpp"
 #include "partition/partition.hpp"
 
@@ -78,6 +79,11 @@ struct Algorithm1Options {
   bool consider_floating_split = false;
   /// RNG seed; every run with the same seed and input is identical.
   std::uint64_t seed = 1;
+  /// Attach an observability snapshot (phase times + counters recorded
+  /// since the last obs::reset()) to the result. Off by default: the
+  /// snapshot copies the whole span tree, which multi-run harnesses that
+  /// aggregate globally do not want per call.
+  bool collect_trace = false;
 };
 
 /// Output of Algorithm I, with diagnostics for the experiment harness.
@@ -92,6 +98,9 @@ struct Algorithm1Result {
   EdgeId filtered_edges = 0;           ///< nets dropped by the threshold
   int starts_run = 0;                  ///< starts actually examined
   bool disconnected_shortcut = false;  ///< took the c = 0 fast path
+  /// Observability snapshot (see Algorithm1Options::collect_trace); empty
+  /// unless requested. Cumulative since the last obs::reset().
+  obs::TraceReport trace;
 };
 
 /// Runs Algorithm I on \p h. Requires at least one vertex.

@@ -1,11 +1,15 @@
 #include "core/boundary.hpp"
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace fhp {
 
 BoundaryStructure extract_boundary(const Graph& g,
                                    std::vector<std::uint8_t> g_side) {
+  FHP_TRACE_SCOPE("boundary");
+  FHP_COUNTER_ADD("boundary/extractions", 1);
   FHP_REQUIRE(g_side.size() == g.num_vertices(),
               "one side label per G-vertex expected");
   for (std::uint8_t s : g_side) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/matching.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace fhp {
@@ -95,6 +97,8 @@ void settle_winner(const Graph& bg, VertexId v, std::vector<std::uint8_t>& alive
 }  // namespace
 
 CompletionResult complete_cut_greedy(const Graph& bg) {
+  FHP_TRACE_SCOPE("complete_cut");
+  FHP_COUNTER_ADD("complete_cut/greedy_runs", 1);
   CompletionResult result;
   result.winner.assign(bg.num_vertices(), 0);
   std::vector<std::uint8_t> alive(bg.num_vertices(), 1);
@@ -112,6 +116,8 @@ CompletionResult complete_cut_weighted(const Graph& bg,
                                        std::span<const Weight> node_weight,
                                        Weight initial_weight0,
                                        Weight initial_weight1) {
+  FHP_TRACE_SCOPE("complete_cut");
+  FHP_COUNTER_ADD("complete_cut/weighted_runs", 1);
   FHP_REQUIRE(side.size() == bg.num_vertices(), "one side label per vertex");
   FHP_REQUIRE(node_weight.size() == bg.num_vertices(),
               "one weight per vertex");
@@ -140,6 +146,8 @@ CompletionResult complete_cut_weighted(const Graph& bg,
 
 CompletionResult complete_cut_exact(const Graph& bg,
                                     std::span<const std::uint8_t> side) {
+  FHP_TRACE_SCOPE("complete_cut");
+  FHP_COUNTER_ADD("complete_cut/exact_runs", 1);
   const std::vector<std::uint8_t> side_vec(side.begin(), side.end());
   const MatchingResult matching = max_bipartite_matching(bg, side_vec);
   const std::vector<std::uint8_t> cover =

@@ -1,8 +1,13 @@
 #include "core/intersection.hpp"
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace fhp {
 
 Graph intersection_graph(const Hypergraph& h) {
+  FHP_TRACE_SCOPE("intersection");
+  FHP_COUNTER_ADD("intersection/builds", 1);
   GraphBuilder builder(h.num_edges());
   for (VertexId v = 0; v < h.num_vertices(); ++v) {
     const auto nets = h.nets_of(v);

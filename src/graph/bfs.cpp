@@ -2,9 +2,13 @@
 
 #include <deque>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace fhp {
 
 BfsResult bfs(const Graph& g, VertexId source) {
+  FHP_COUNTER_ADD("bfs/calls", 1);
   FHP_REQUIRE(source < g.num_vertices(), "BFS source out of range");
   BfsResult result;
   result.distance.assign(g.num_vertices(), kUnreachable);
@@ -30,10 +34,14 @@ BfsResult bfs(const Graph& g, VertexId source) {
       queue.push_back(w);
     }
   }
+  FHP_COUNTER_ADD("bfs/vertices_reached",
+                  static_cast<long long>(result.reached));
+  FHP_COUNTER_ADD("bfs/levels_visited", static_cast<long long>(result.depth));
   return result;
 }
 
 DiameterPair longest_path_from(const Graph& g, VertexId start, int sweeps) {
+  FHP_TRACE_SCOPE("diameter");
   FHP_REQUIRE(sweeps >= 1, "need at least one BFS sweep");
   DiameterPair pair;
   BfsResult r = bfs(g, start);
@@ -57,6 +65,8 @@ DiameterPair random_longest_path(const Graph& g, Rng& rng, int sweeps) {
 }
 
 BidirectionalCut bidirectional_bfs_cut(const Graph& g, VertexId s, VertexId t) {
+  FHP_TRACE_SCOPE("initial_cut");
+  FHP_COUNTER_ADD("bfs/bidirectional_cuts", 1);
   FHP_REQUIRE(s < g.num_vertices() && t < g.num_vertices(),
               "seed out of range");
   FHP_REQUIRE(s != t, "seeds must be distinct");

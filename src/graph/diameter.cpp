@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "graph/bfs.hpp"
+#include "obs/trace.hpp"
 
 namespace fhp {
 
 std::uint32_t exact_diameter(const Graph& g) {
+  FHP_TRACE_SCOPE("diameter_exact");
   std::uint32_t best = 0;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     best = std::max(best, bfs(g, v).depth);
@@ -15,6 +17,7 @@ std::uint32_t exact_diameter(const Graph& g) {
 }
 
 std::uint32_t estimate_diameter(const Graph& g, Rng& rng, int starts) {
+  FHP_TRACE_SCOPE("diameter_estimate");
   FHP_REQUIRE(starts >= 1, "need at least one start");
   std::uint32_t best = 0;
   for (int i = 0; i < starts; ++i) {

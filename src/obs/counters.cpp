@@ -1,0 +1,33 @@
+#include "obs/counters.hpp"
+
+namespace fhp::obs {
+
+Counters& Counters::instance() {
+  static Counters counters;
+  return counters;
+}
+
+void Counters::add(const char* name, long long delta) {
+  counters_[name] += delta;
+}
+
+void Counters::set_gauge(const char* name, double value) {
+  gauges_[name] = value;
+}
+
+long long Counters::value(std::string_view name) const {
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Counters::gauge(std::string_view name) const {
+  const auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void Counters::reset() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+}  // namespace fhp::obs

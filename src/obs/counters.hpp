@@ -1,0 +1,80 @@
+/// \file counters.hpp
+/// Counters/gauges registry — the event half of the observability layer.
+///
+/// Counters are monotonically accumulating integers for discrete algorithm
+/// events (starts examined, BFS levels visited, completion losers, filtered
+/// nets); gauges are last-write-wins doubles for levels sampled at a point
+/// in time (boundary size of the final cut, pseudo-diameter).
+///
+/// Naming convention (see docs/observability.md): `component/event` in
+/// snake_case, e.g. "alg1/starts_examined", "bfs/vertices_reached". Keep
+/// names to string literals: the registry stores one map entry per distinct
+/// name, and literals make call sites greppable.
+///
+/// Like the tracer, the registry is a process-wide singleton, not
+/// thread-safe, and the FHP_COUNTER_ADD / FHP_GAUGE_SET macros compile to
+/// nothing under -DFHP_ENABLE_TRACING=OFF (macro arguments must therefore
+/// be side-effect free). The class API itself is always available.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#ifndef FHP_TRACING_ENABLED
+#define FHP_TRACING_ENABLED 1
+#endif
+
+namespace fhp::obs {
+
+/// Process-wide counter/gauge registry. Use via the macros below; the
+/// direct API exists for tests, exporters and custom integrations.
+class Counters {
+ public:
+  static Counters& instance();
+
+  /// Adds \p delta to counter \p name (creating it at zero).
+  void add(const char* name, long long delta);
+
+  /// Sets gauge \p name to \p value (last write wins).
+  void set_gauge(const char* name, double value);
+
+  /// Current value of counter \p name; 0 when it was never touched.
+  [[nodiscard]] long long value(std::string_view name) const;
+
+  /// Current value of gauge \p name; 0.0 when it was never set.
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  /// Drops every counter and gauge.
+  void reset();
+
+  [[nodiscard]] const std::unordered_map<std::string, long long>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::unordered_map<std::string, double>& gauges()
+      const noexcept {
+    return gauges_;
+  }
+
+ private:
+  Counters() = default;
+
+  std::unordered_map<std::string, long long> counters_;
+  std::unordered_map<std::string, double> gauges_;
+};
+
+}  // namespace fhp::obs
+
+#if FHP_TRACING_ENABLED
+/// Adds \p delta to the process-wide counter \p name.
+#define FHP_COUNTER_ADD(name, delta) \
+  ::fhp::obs::Counters::instance().add((name), (delta))
+/// Sets the process-wide gauge \p name to \p value.
+#define FHP_GAUGE_SET(name, value) \
+  ::fhp::obs::Counters::instance().set_gauge((name), (value))
+#else
+#define FHP_COUNTER_ADD(name, delta) static_cast<void>(0)
+#define FHP_GAUGE_SET(name, value) static_cast<void>(0)
+#endif

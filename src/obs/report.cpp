@@ -1,0 +1,273 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fhp::obs {
+
+namespace {
+
+/// printf into a std::string tail.
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char buffer[256];
+  const int written = std::snprintf(buffer, sizeof(buffer), fmt, args...);
+  if (written > 0) {
+    out.append(buffer, std::min<std::size_t>(static_cast<std::size_t>(written),
+                                             sizeof(buffer) - 1));
+  }
+}
+
+double percent(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return 0.0;
+  return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+std::uint64_t TraceReport::root_total_ns() const {
+  std::uint64_t total = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.parent == kNoSpan) total += span.total_ns;
+  }
+  return total;
+}
+
+std::uint64_t TraceReport::span_ns(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) total += span.total_ns;
+  }
+  return total;
+}
+
+std::uint64_t TraceReport::span_calls(std::string_view name) const {
+  std::uint64_t calls = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) calls += span.calls;
+  }
+  return calls;
+}
+
+long long TraceReport::counter(std::string_view name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+double TraceReport::gauge(std::string_view name) const {
+  for (const auto& [key, value] : gauges) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+TraceReport snapshot() {
+  const Tracer& tracer = Tracer::instance();
+  const Counters& registry = Counters::instance();
+  TraceReport report;
+  report.tracing_compiled = FHP_TRACING_ENABLED != 0;
+
+  report.spans.reserve(tracer.nodes().size());
+  for (const SpanNode& node : tracer.nodes()) {
+    TraceSpan span;
+    span.name = node.name;
+    span.parent = node.parent;
+    span.total_ns = node.total_ns;
+    span.calls = node.calls;
+    report.spans.push_back(std::move(span));
+  }
+
+  report.events.reserve(tracer.events().size());
+  for (const RawEvent& raw : tracer.events()) {
+    TraceEvent event;
+    event.span = raw.node;
+    event.start_us = raw.start_us;
+    event.dur_us = raw.dur_us;
+    report.events.push_back(event);
+  }
+  report.dropped_events = tracer.dropped_events();
+
+  report.counters.assign(registry.counters().begin(),
+                         registry.counters().end());
+  std::sort(report.counters.begin(), report.counters.end());
+  report.gauges.assign(registry.gauges().begin(), registry.gauges().end());
+  std::sort(report.gauges.begin(), report.gauges.end());
+  return report;
+}
+
+void reset() {
+  Tracer::instance().reset();
+  Counters::instance().reset();
+}
+
+std::string to_tree_string(const TraceReport& report) {
+  std::string out;
+  const std::uint64_t root_total = report.root_total_ns();
+  appendf(out, "phase tree — wall total %.3f ms\n",
+          static_cast<double>(root_total) / 1e6);
+  if (report.spans.empty()) {
+    out += "  (no spans recorded";
+    out += report.tracing_compiled
+               ? ")\n"
+               : "; build compiled with FHP_ENABLE_TRACING=OFF)\n";
+  }
+
+  // Children lists in creation order (stable, parents precede children).
+  std::vector<std::vector<std::uint32_t>> children(report.spans.size());
+  std::vector<std::uint32_t> roots;
+  for (std::uint32_t i = 0; i < report.spans.size(); ++i) {
+    const std::uint32_t parent = report.spans[i].parent;
+    if (parent == kNoSpan) {
+      roots.push_back(i);
+    } else {
+      children[parent].push_back(i);
+    }
+  }
+
+  // Iterative preorder walk carrying the indent depth.
+  std::vector<std::pair<std::uint32_t, int>> work;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    work.emplace_back(*it, 0);
+  }
+  while (!work.empty()) {
+    const auto [index, depth] = work.back();
+    work.pop_back();
+    const TraceSpan& span = report.spans[index];
+    const std::uint64_t parent_total = span.parent == kNoSpan
+                                           ? root_total
+                                           : report.spans[span.parent].total_ns;
+    std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+    label += span.name;
+    appendf(out, "  %-32s %10.3f ms %5.1f%% %5.1f%% of parent %8llu calls\n",
+            label.c_str(), static_cast<double>(span.total_ns) / 1e6,
+            percent(span.total_ns, root_total),
+            percent(span.total_ns, parent_total),
+            static_cast<unsigned long long>(span.calls));
+    for (auto it = children[index].rbegin(); it != children[index].rend();
+         ++it) {
+      work.emplace_back(*it, depth + 1);
+    }
+  }
+
+  if (!report.counters.empty()) {
+    out += "counters\n";
+    for (const auto& [name, value] : report.counters) {
+      appendf(out, "  %-40s %12lld\n", name.c_str(), value);
+    }
+  }
+  if (!report.gauges.empty()) {
+    out += "gauges\n";
+    for (const auto& [name, value] : report.gauges) {
+      appendf(out, "  %-40s %12.3f\n", name.c_str(), value);
+    }
+  }
+  if (report.dropped_events > 0) {
+    appendf(out, "note: %llu span events dropped (log cap reached)\n",
+            static_cast<unsigned long long>(report.dropped_events));
+  }
+  return out;
+}
+
+std::string to_json(const TraceReport& report) {
+  std::string out = "{";
+  out += "\"tracing_compiled\": ";
+  out += report.tracing_compiled ? "true" : "false";
+  appendf(out, ", \"wall_total_ns\": %llu",
+          static_cast<unsigned long long>(report.root_total_ns()));
+
+  out += ", \"spans\": [";
+  for (std::size_t i = 0; i < report.spans.size(); ++i) {
+    const TraceSpan& span = report.spans[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"";
+    out += json_escape(span.name);
+    out += "\"";
+    if (span.parent == kNoSpan) {
+      out += ", \"parent\": -1";
+    } else {
+      appendf(out, ", \"parent\": %u", span.parent);
+    }
+    appendf(out, ", \"total_ns\": %llu, \"calls\": %llu}",
+            static_cast<unsigned long long>(span.total_ns),
+            static_cast<unsigned long long>(span.calls));
+  }
+  out += "]";
+
+  out += ", \"counters\": {";
+  for (std::size_t i = 0; i < report.counters.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"";
+    out += json_escape(report.counters[i].first);
+    out += "\": ";
+    appendf(out, "%lld", report.counters[i].second);
+  }
+  out += "}";
+
+  out += ", \"gauges\": {";
+  for (std::size_t i = 0; i < report.gauges.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"";
+    out += json_escape(report.gauges[i].first);
+    out += "\": ";
+    appendf(out, "%.17g", report.gauges[i].second);
+  }
+  out += "}";
+
+  appendf(out, ", \"dropped_events\": %llu}",
+          static_cast<unsigned long long>(report.dropped_events));
+  return out;
+}
+
+std::string to_chrome_trace(const TraceReport& report) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : report.events) {
+    if (event.span >= report.spans.size()) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    out += json_escape(report.spans[event.span].name);
+    out += "\", \"cat\": \"fhp\", \"ph\": \"X\"";
+    appendf(out, ", \"ts\": %llu, \"dur\": %llu, \"pid\": 0, \"tid\": 0}",
+            static_cast<unsigned long long>(event.start_us),
+            static_cast<unsigned long long>(event.dur_us));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(out, "\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fhp::obs

@@ -1,0 +1,94 @@
+/// \file report.hpp
+/// TraceReport — an immutable snapshot of the tracer + counter state — and
+/// its three exporters:
+///   - to_tree_string():   human-readable phase tree with percentages;
+///   - to_json():          machine-readable report (spans, counters, gauges);
+///   - to_chrome_trace():  Trace Event Format for chrome://tracing / Perfetto.
+///
+/// A snapshot is plain copyable data, safe to attach to results and ship
+/// across layers; it reflects everything recorded since the last
+/// obs::reset(). All three exporters work on empty reports (producing an
+/// empty tree / valid JSON), so code paths stay identical when tracing is
+/// compiled out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace fhp::obs {
+
+/// One aggregated span of a snapshot. Parents precede children, so a
+/// forward scan visits the tree top-down.
+struct TraceSpan {
+  std::string name;
+  std::uint32_t parent = kNoSpan;  ///< index into TraceReport::spans
+  std::uint64_t total_ns = 0;      ///< wall time including children
+  std::uint64_t calls = 0;
+};
+
+/// One raw event of a snapshot (for the chrome trace exporter).
+struct TraceEvent {
+  std::uint32_t span = 0;  ///< index into TraceReport::spans
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// Snapshot of the observability state.
+struct TraceReport {
+  /// Whether the producing build compiled the instrumentation macros in
+  /// (FHP_ENABLE_TRACING). When false the report is typically empty.
+  bool tracing_compiled = false;
+  std::vector<TraceSpan> spans;
+  /// Counters and gauges, sorted by name for stable output.
+  std::vector<std::pair<std::string, long long>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped_events = 0;
+
+  /// Sum of wall time over top-level spans (the tree's 100% reference).
+  [[nodiscard]] std::uint64_t root_total_ns() const;
+  /// Total time / completed calls summed over every span named \p name
+  /// (a name can appear under several parents).
+  [[nodiscard]] std::uint64_t span_ns(std::string_view name) const;
+  [[nodiscard]] std::uint64_t span_calls(std::string_view name) const;
+  /// Counter value by name; 0 when absent.
+  [[nodiscard]] long long counter(std::string_view name) const;
+  /// Gauge value by name; 0.0 when absent.
+  [[nodiscard]] double gauge(std::string_view name) const;
+  /// True when nothing was recorded.
+  [[nodiscard]] bool empty() const {
+    return spans.empty() && counters.empty() && gauges.empty();
+  }
+};
+
+/// Captures the current tracer + counter state. Spans still open at the
+/// time of the call contribute only their already-completed entries.
+[[nodiscard]] TraceReport snapshot();
+
+/// Resets the tracer and the counter registry (and the event epoch).
+void reset();
+
+/// Renders the phase tree, counters and gauges as human-readable text.
+/// Columns: total ms, % of the root total, % of the parent, call count.
+[[nodiscard]] std::string to_tree_string(const TraceReport& report);
+
+/// Renders the report as a JSON object:
+///   {"tracing_compiled": bool, "wall_total_ns": int,
+///    "spans": [{"name", "parent", "total_ns", "calls"}...],
+///    "counters": {...}, "gauges": {...}, "dropped_events": int}
+[[nodiscard]] std::string to_json(const TraceReport& report);
+
+/// Renders the event log in Chrome Trace Event Format ("X" complete
+/// events); load via chrome://tracing or https://ui.perfetto.dev.
+[[nodiscard]] std::string to_chrome_trace(const TraceReport& report);
+
+/// Escapes \p text for inclusion inside a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace fhp::obs

@@ -1,0 +1,70 @@
+#include "obs/trace.hpp"
+
+namespace fhp::obs {
+
+Tracer::Tracer() : epoch_(Clock::now()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint32_t Tracer::open(const char* name) {
+  auto& lookup = stack_.empty() ? roots_ : nodes_[stack_.back()].children;
+  const auto it = lookup.find(name);
+  std::uint32_t node;
+  if (it != lookup.end()) {
+    node = it->second;
+  } else {
+    node = static_cast<std::uint32_t>(nodes_.size());
+    SpanNode fresh;
+    fresh.name = name;
+    fresh.parent = stack_.empty() ? kNoSpan : stack_.back();
+    // Note: push_back may reallocate nodes_, invalidating `lookup` — insert
+    // through the map freshly fetched afterwards.
+    nodes_.push_back(std::move(fresh));
+    auto& lookup_after =
+        stack_.empty() ? roots_ : nodes_[stack_.back()].children;
+    lookup_after.emplace(name, node);
+  }
+  stack_.push_back(node);
+  return node;
+}
+
+void Tracer::close(std::uint32_t node, Clock::time_point start) {
+  // Defensive: a reset() between open and close leaves a stale handle; drop
+  // the close silently rather than corrupting the fresh tree.
+  if (stack_.empty() || stack_.back() != node || node >= nodes_.size()) {
+    return;
+  }
+  stack_.pop_back();
+  const Clock::time_point end = Clock::now();
+  const auto elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  SpanNode& span = nodes_[node];
+  span.total_ns += elapsed_ns;
+  ++span.calls;
+  if (events_.size() < kMaxEvents) {
+    RawEvent event;
+    event.node = node;
+    event.start_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(start - epoch_)
+            .count());
+    event.dur_us = elapsed_ns / 1000;
+    events_.push_back(event);
+  } else {
+    ++dropped_events_;
+  }
+}
+
+void Tracer::reset() {
+  nodes_.clear();
+  roots_.clear();
+  stack_.clear();
+  events_.clear();
+  dropped_events_ = 0;
+  epoch_ = Clock::now();
+}
+
+}  // namespace fhp::obs

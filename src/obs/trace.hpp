@@ -1,0 +1,134 @@
+/// \file trace.hpp
+/// Hierarchical scoped-span tracer — the timing half of the observability
+/// layer (see docs/observability.md).
+///
+/// Usage at an instrumentation site:
+///
+///     void step() {
+///       FHP_TRACE_SCOPE("boundary");
+///       ...
+///     }
+///
+/// Spans nest by scope: a span opened while another is active becomes its
+/// child in the aggregated phase tree. Repeated entries of the same name
+/// under the same parent accumulate into one tree node (total time + call
+/// count), so a 50-start run shows one "diameter" row with calls = 50, not
+/// 50 rows. Every span additionally appends one event to a bounded log so
+/// the run can be replayed in `chrome://tracing` (see obs/report.hpp).
+///
+/// Compile-time kill switch: configure with -DFHP_ENABLE_TRACING=OFF and
+/// every FHP_TRACE_SCOPE / FHP_COUNTER_* call site compiles to nothing —
+/// zero instructions, zero data. The runtime classes below stay defined in
+/// both modes so exporters, tests and tools always compile and link.
+///
+/// The tracer is a process-wide singleton and is NOT thread-safe, matching
+/// the single-threaded algorithms in this repository; revisit when a
+/// parallelism PR lands. Do not reset() while spans are open.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#ifndef FHP_TRACING_ENABLED
+#define FHP_TRACING_ENABLED 1
+#endif
+
+namespace fhp::obs {
+
+/// Sentinel parent index of top-level spans.
+inline constexpr std::uint32_t kNoSpan = 0xffffffffU;
+
+/// One aggregated node of the span tree.
+struct SpanNode {
+  std::string name;                ///< span label (a string literal upstream)
+  std::uint32_t parent = kNoSpan;  ///< index into Tracer::nodes(), or kNoSpan
+  std::uint64_t total_ns = 0;      ///< wall time over all entries (incl. children)
+  std::uint64_t calls = 0;         ///< completed entries
+  /// Child lookup by name; values index Tracer::nodes(). A parent is always
+  /// created before its children, so parent index < child index everywhere.
+  std::unordered_map<std::string, std::uint32_t> children;
+};
+
+/// One raw span entry for the chrome://tracing event log.
+struct RawEvent {
+  std::uint32_t node = 0;      ///< index into Tracer::nodes()
+  std::uint64_t start_us = 0;  ///< microseconds since the tracer epoch
+  std::uint64_t dur_us = 0;
+};
+
+/// Process-wide span registry. Use via FHP_TRACE_SCOPE / ScopedSpan; the
+/// direct open()/close() API exists for tests and custom integrations.
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Event-log bound; entries past it are dropped (aggregates still count).
+  static constexpr std::size_t kMaxEvents = std::size_t{1} << 18;
+
+  static Tracer& instance();
+
+  /// Finds or creates the child \p name of the innermost open span (or a
+  /// top-level node) and marks it open. Returns its node index.
+  std::uint32_t open(const char* name);
+
+  /// Closes the innermost open span, which must be \p node with entry time
+  /// \p start. Calls that do not match (e.g. after a mid-span reset) are
+  /// ignored so a stray ScopedSpan can never corrupt the tree.
+  void close(std::uint32_t node, Clock::time_point start);
+
+  /// Drops all spans, events and the open-span stack; restarts the epoch.
+  void reset();
+
+  [[nodiscard]] const std::vector<SpanNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<RawEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept {
+    return dropped_events_;
+  }
+  /// Number of currently open spans (0 between well-nested regions).
+  [[nodiscard]] std::size_t open_depth() const noexcept {
+    return stack_.size();
+  }
+
+ private:
+  Tracer();
+
+  std::vector<SpanNode> nodes_;
+  std::unordered_map<std::string, std::uint32_t> roots_;  ///< top-level lookup
+  std::vector<std::uint32_t> stack_;                      ///< open node ids
+  std::vector<RawEvent> events_;
+  std::uint64_t dropped_events_ = 0;
+  Clock::time_point epoch_;
+};
+
+/// RAII span handle: opens on construction, closes on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : node_(Tracer::instance().open(name)), start_(Tracer::Clock::now()) {}
+  ~ScopedSpan() { Tracer::instance().close(node_, start_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::uint32_t node_;
+  Tracer::Clock::time_point start_;
+};
+
+}  // namespace fhp::obs
+
+#define FHP_OBS_CONCAT_IMPL(a, b) a##b
+#define FHP_OBS_CONCAT(a, b) FHP_OBS_CONCAT_IMPL(a, b)
+
+#if FHP_TRACING_ENABLED
+/// Times the enclosing scope as span \p name of the process-wide tracer.
+#define FHP_TRACE_SCOPE(name) \
+  ::fhp::obs::ScopedSpan FHP_OBS_CONCAT(fhp_trace_span_, __COUNTER__)(name)
+#else
+#define FHP_TRACE_SCOPE(name) static_cast<void>(0)
+#endif

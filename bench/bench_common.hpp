@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -24,6 +25,7 @@
 #include "gen/planted.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "obs/report.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -99,7 +101,10 @@ class BenchRecorder {
     return recorder;
   }
 
+  /// Thread-safe: trials running on pool workers may record concurrently
+  /// (they take the recorder mutex only for the push, not the timed work).
   void add(const std::string& label, double seconds, double cut) {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = series_.try_emplace(label);
     if (inserted) order_.push_back(label);
     it->second.seconds.push_back(seconds);
@@ -107,15 +112,20 @@ class BenchRecorder {
   }
 
   void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
     series_.clear();
     order_.clear();
   }
 
-  [[nodiscard]] bool empty() const { return order_.empty(); }
+  [[nodiscard]] bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_.empty();
+  }
 
   /// Serializes every series as {"label": {"runs", "seconds": {stats},
   /// "cut": {stats}}, ...} in first-recorded order.
   [[nodiscard]] std::string to_json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto stats_json = [](const std::vector<double>& xs) {
       char buffer[160];
       std::snprintf(buffer, sizeof(buffer),
@@ -141,6 +151,7 @@ class BenchRecorder {
  private:
   BenchRecorder() = default;
 
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, Series> series_;
   std::vector<std::string> order_;  ///< stable first-recorded label order
 };
@@ -160,6 +171,42 @@ TimedRun measure(const char* label, RunFn&& run) {
   BenchRecorder::instance().add(label, out.seconds,
                                 static_cast<double>(out.cut));
   return out;
+}
+
+/// Runs \p trials independent invocations of \p run (callable taking the
+/// trial index, returning anything with `metrics` and `sides`) across the
+/// lanes of \p pool (null or 1-lane = serial), then records every trial
+/// under \p label *in trial order*, so the artifact series is deterministic
+/// no matter how the trials were scheduled. Trials must be independent —
+/// e.g. repetitions over distinct seeds. Note that under contention each
+/// per-trial wall time reflects CPU sharing with the other lanes; use the
+/// serial path when per-trial latency itself is the measurement.
+template <typename RunFn>
+std::vector<TimedRun> measure_trials(const char* label, int trials,
+                                     ThreadPool* pool, RunFn&& run) {
+  auto one = [&run](std::size_t i) {
+    Timer timer;
+    auto r = run(i);
+    TimedRun out;
+    out.seconds = timer.seconds();
+    out.cut = r.metrics.cut_edges;
+    out.metrics = r.metrics;
+    out.sides = std::move(r.sides);
+    return out;
+  };
+  std::vector<TimedRun> runs;
+  const auto n = static_cast<std::size_t>(trials);
+  if (pool != nullptr && pool->thread_count() > 1 && trials > 1) {
+    runs = pool->parallel_map<TimedRun>(n, one);
+  } else {
+    runs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) runs.push_back(one(i));
+  }
+  for (const TimedRun& r : runs) {
+    BenchRecorder::instance().add(label, r.seconds,
+                                  static_cast<double>(r.cut));
+  }
+  return runs;
 }
 
 inline TimedRun run_algorithm1(const Hypergraph& h, std::uint64_t seed,

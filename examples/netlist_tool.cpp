@@ -9,6 +9,7 @@
 ///     --format hmetis|netlist     input format        (default hmetis)
 ///     --algorithm alg1|fm|kl|sa|random                (default alg1)
 ///     --starts N                  Alg I start budget  (default 50)
+///     --threads N                 Alg I execution lanes (default serial)
 ///     --threshold K               ignore nets with > K pins; 0 = keep all
 ///                                                     (default 10)
 ///     --completion greedy|weighted|exact              (default greedy)
@@ -55,6 +56,7 @@ struct CliOptions {
   std::string json_path;
   std::string chrome_trace_path;
   int starts = 50;
+  int threads = 0;
   std::uint32_t kway = 2;
   std::uint32_t threshold = 10;
   std::uint64_t seed = 1;
@@ -76,6 +78,9 @@ void print_usage() {
       "                            takes the .nodes file, .nets beside it)\n"
       "  --algorithm alg1|fm|kl|sa|flow|multilevel|spectral|random\n"
       "  --starts N                Alg I multi-start budget (default 50)\n"
+      "  --threads N               Alg I execution lanes (default: the\n"
+      "                            FHP_THREADS env var, else serial); the\n"
+      "                            partition is identical at any setting\n"
       "  --kway N                  recursive N-way partition (default 2;\n"
       "                            alg1 engine only, one part id per line)\n"
       "  --threshold K             ignore nets with > K pins, 0 keeps all\n"
@@ -113,6 +118,8 @@ CliOptions parse(int argc, char** argv) {
       options.output = value();
     } else if (arg == "--starts") {
       options.starts = std::atoi(value().c_str());
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(value().c_str());
     } else if (arg == "--kway") {
       options.kway = static_cast<std::uint32_t>(std::atoi(value().c_str()));
     } else if (arg == "--threshold") {
@@ -149,6 +156,7 @@ std::vector<std::uint8_t> run(const CliOptions& cli, const Hypergraph& h) {
     options.num_starts = cli.starts;
     options.large_edge_threshold = cli.threshold;
     options.seed = cli.seed;
+    options.threads = cli.threads;
     if (cli.completion == "weighted") {
       options.completion = CompletionStrategy::kWeightedGreedy;
     } else if (cli.completion == "exact") {
@@ -270,6 +278,7 @@ int main(int argc, char** argv) {
       a1.num_starts = cli.starts;
       a1.large_edge_threshold = cli.threshold;
       a1.seed = cli.seed;
+      a1.threads = cli.threads;
       RecursiveOptions recursive;
       recursive.algorithm1 = a1;
       recursive.rebalance = true;

@@ -81,6 +81,8 @@ Algorithm1Context::Algorithm1Context(const Hypergraph& h,
     : h_(&h), options_(options) {
   FHP_REQUIRE(h.num_vertices() >= 2,
               "a proper cut needs at least two modules");
+  const int lanes = resolve_threads(options.threads);
+  if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes);
   {
     FHP_TRACE_SCOPE("filter");
     if (options.large_edge_threshold > 0) {
@@ -94,7 +96,9 @@ Algorithm1Context::Algorithm1Context(const Hypergraph& h,
   }
   FHP_COUNTER_ADD("alg1/filtered_nets",
                   static_cast<long long>(filtered_edge_count()));
-  g_ = intersection_graph(filtered_);
+  IntersectionOptions intersection_options;
+  intersection_options.pool = pool_.get();
+  g_ = intersection_graph(filtered_, intersection_options);
   {
     FHP_TRACE_SCOPE("components");
     const Components comps = connected_components(g_);
@@ -489,11 +493,30 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
 
   Algorithm1Result best;
   bool have_best = false;
-  for (VertexId start : starts) {
-    Algorithm1Result candidate = context.run_single(start);
-    if (!have_best || better(candidate, best, options.objective)) {
-      best = std::move(candidate);
-      have_best = true;
+  ThreadPool* pool = context.pool();
+  if (pool != nullptr && pool->thread_count() > 1 && starts.size() > 1) {
+    // Each start is deterministic given its G-vertex, so the only way
+    // thread count could leak into the answer is reduction order — and the
+    // reduction below walks candidates in start order, exactly like the
+    // serial loop, so ties resolve identically at any lane count.
+    FHP_COUNTER_ADD("alg1/parallel_start_batches", 1);
+    std::vector<Algorithm1Result> candidates =
+        pool->parallel_map<Algorithm1Result>(
+            starts.size(),
+            [&](std::size_t i) { return context.run_single(starts[i]); });
+    for (Algorithm1Result& candidate : candidates) {
+      if (!have_best || better(candidate, best, options.objective)) {
+        best = std::move(candidate);
+        have_best = true;
+      }
+    }
+  } else {
+    for (VertexId start : starts) {
+      Algorithm1Result candidate = context.run_single(start);
+      if (!have_best || better(candidate, best, options.objective)) {
+        best = std::move(candidate);
+        have_best = true;
+      }
     }
   }
   FHP_ASSERT(have_best, "at least one start must run");

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/complete_cut.hpp"
@@ -26,6 +27,8 @@
 #include "obs/report.hpp"
 #include "partition/metrics.hpp"
 #include "partition/partition.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace fhp {
 
@@ -79,6 +82,13 @@ struct Algorithm1Options {
   bool consider_floating_split = false;
   /// RNG seed; every run with the same seed and input is identical.
   std::uint64_t seed = 1;
+  /// Execution lanes for the multi-start loop and the intersection-graph
+  /// build: 1 = serial, N > 1 = a pool of N lanes, 0 = resolve from the
+  /// FHP_THREADS environment variable (unset -> serial). The chosen
+  /// partition is bit-identical at every setting: starts come from the
+  /// same seeded permutation and results are reduced in start order, so
+  /// threads only change wall time, never the answer (docs/parallelism.md).
+  int threads = 0;
   /// Attach an observability snapshot (phase times + counters recorded
   /// since the last obs::reset()) to the result. Off by default: the
   /// snapshot copies the whole span tree, which multi-run harnesses that
@@ -147,9 +157,25 @@ class Algorithm1Context {
   [[nodiscard]] Algorithm1Result complete_from_cut(
       std::vector<std::uint8_t> g_side) const;
 
+  /// The context's thread pool, or null when the configuration is serial
+  /// (Algorithm1Options::threads resolved to 1).
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_.get(); }
+
+  /// Deterministic per-start generator: the fork(start_index) child of a
+  /// master seeded from options.seed. The contract (see Rng::fork): equal
+  /// (seed, start_index) gives a bit-equal stream regardless of thread
+  /// count or the order starts execute in. The current pipeline draws no
+  /// randomness after the start permutation, so this exists as the
+  /// substrate for future stochastic per-start steps (randomized
+  /// tie-breaks, perturbation restarts).
+  [[nodiscard]] Rng start_rng(std::uint64_t start_index) const noexcept {
+    return Rng(options_.seed).fork(start_index);
+  }
+
  private:
   const Hypergraph* h_;
   Algorithm1Options options_;
+  std::unique_ptr<ThreadPool> pool_;
   Hypergraph filtered_;
   Graph g_;
   bool degenerate_ = false;

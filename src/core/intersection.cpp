@@ -1,23 +1,121 @@
 #include "core/intersection.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
 namespace fhp {
 
-Graph intersection_graph(const Hypergraph& h) {
-  FHP_TRACE_SCOPE("intersection");
-  FHP_COUNTER_ADD("intersection/builds", 1);
-  GraphBuilder builder(h.num_edges());
-  for (VertexId v = 0; v < h.num_vertices(); ++v) {
-    const auto nets = h.nets_of(v);
-    for (std::size_t i = 0; i < nets.size(); ++i) {
-      for (std::size_t j = i + 1; j < nets.size(); ++j) {
-        builder.add_edge(nets[i], nets[j]);
+namespace {
+
+using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+
+/// Emits the normalized (min, max) net pairs of modules [begin, end) into
+/// \p out and deduplicates the chunk locally (sort + unique). Returns the
+/// raw pair count before deduplication, which depends only on the
+/// hypergraph and the skip set — never on how the range was chunked.
+std::size_t emit_module_range(const Hypergraph& h,
+                              const std::vector<char>& skip,
+                              std::size_t begin, std::size_t end,
+                              EdgeList& out) {
+  std::size_t pairs = 0;
+  std::vector<EdgeId> kept;
+  for (std::size_t v = begin; v < end; ++v) {
+    const auto nets = h.nets_of(static_cast<VertexId>(v));
+    kept.clear();
+    for (const EdgeId e : nets) {
+      if (skip.empty() || !skip[e]) kept.push_back(e);
+    }
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      for (std::size_t j = i + 1; j < kept.size(); ++j) {
+        const EdgeId a = kept[i];
+        const EdgeId b = kept[j];
+        out.emplace_back(std::min(a, b), std::max(a, b));
+        ++pairs;
       }
     }
   }
-  return std::move(builder).build();
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return pairs;
+}
+
+}  // namespace
+
+Graph intersection_graph(const Hypergraph& h,
+                         const IntersectionOptions& options) {
+  FHP_TRACE_SCOPE("intersection");
+  FHP_COUNTER_ADD("intersection/builds", 1);
+
+  // Mark skipped nets once, before any pair enumeration: a net above the
+  // threshold never contributes pairs, so its pins cost O(deg) here rather
+  // than O(deg^2) below. Skipped nets keep their G-vertex (isolated).
+  std::vector<char> skip;
+  if (options.large_edge_threshold > 0) {
+    skip.assign(h.num_edges(), 0);
+    long long skipped = 0;
+    for (EdgeId e = 0; e < h.num_edges(); ++e) {
+      if (h.edge_size(e) > options.large_edge_threshold) {
+        skip[e] = 1;
+        ++skipped;
+      }
+    }
+    FHP_COUNTER_ADD("intersection/nets_skipped", skipped);
+  }
+
+  const std::size_t n = h.num_vertices();
+  EdgeList edges;
+  const bool parallel =
+      options.pool != nullptr && options.pool->thread_count() > 1 && n > 1;
+  if (parallel) {
+    // Chunk boundaries depend only on n, so the shard layout — and after
+    // the global canonicalization below, the final CSR — is identical at
+    // any lane count.
+    const std::size_t grain = std::max<std::size_t>(std::size_t{64}, n / 256);
+    const std::size_t chunks = (n + grain - 1) / grain;
+    std::vector<EdgeList> shards(chunks);
+    std::atomic<long long> pairs{0};
+    options.pool->parallel_for(
+        n, grain, [&](std::size_t begin, std::size_t end) {
+          EdgeList& shard = shards[begin / grain];
+          const std::size_t raw = emit_module_range(h, skip, begin, end, shard);
+          pairs.fetch_add(static_cast<long long>(raw),
+                          std::memory_order_relaxed);
+        });
+    std::size_t total = 0;
+    for (const EdgeList& shard : shards) total += shard.size();
+    edges.reserve(total);
+    for (EdgeList& shard : shards) {
+      edges.insert(edges.end(), shard.begin(), shard.end());
+      EdgeList().swap(shard);
+    }
+    const long long raw_pairs = pairs.load(std::memory_order_relaxed);
+    FHP_COUNTER_ADD("intersection/pairs_emitted", raw_pairs);
+    static_cast<void>(raw_pairs);
+  } else {
+    const std::size_t raw = emit_module_range(h, skip, 0, n, edges);
+    FHP_COUNTER_ADD("intersection/pairs_emitted",
+                    static_cast<long long>(raw));
+    static_cast<void>(raw);
+  }
+
+  // Global canonicalization: chunk-local dedup only thins the shards; this
+  // pass makes the edge set — and therefore the CSR — independent of the
+  // sharding entirely.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  const long long final_edges = static_cast<long long>(edges.size());
+  FHP_COUNTER_ADD("intersection/edges_after_dedup", final_edges);
+  static_cast<void>(final_edges);
+  return Graph::from_sorted_unique_edges(h.num_edges(), edges);
+}
+
+Graph intersection_graph(const Hypergraph& h) {
+  return intersection_graph(h, IntersectionOptions{});
 }
 
 }  // namespace fhp

@@ -4,14 +4,36 @@
 /// nets share a module. G-vertex i corresponds to edge i of H.
 #pragma once
 
+#include <cstdint>
+
 #include "graph/graph.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "util/parallel.hpp"
 
 namespace fhp {
+
+/// Tuning knobs for intersection_graph().
+struct IntersectionOptions {
+  /// Nets with more than this many pins are skipped before pair
+  /// enumeration (their G-vertices stay isolated) — the paper's large-net
+  /// relaxation applied in-place, without materializing a filtered
+  /// hypergraph. 0 disables the filter (every net participates).
+  std::uint32_t large_edge_threshold = 0;
+  /// Optional pool for the sharded parallel build: module ranges are
+  /// enumerated into per-chunk edge shards, chunk-locally deduplicated,
+  /// then merged and canonicalized globally — so the resulting CSR is
+  /// bit-identical at any lane count. Null (or a 1-lane pool) runs the
+  /// build serially.
+  ThreadPool* pool = nullptr;
+};
 
 /// Builds the intersection graph of \p h. Cost is O(sum over modules of
 /// degree^2) plus a sort — for bounded module degree (the regime the paper
 /// analyses and the reason for its large-net filter) this is O(pins).
+[[nodiscard]] Graph intersection_graph(const Hypergraph& h,
+                                       const IntersectionOptions& options);
+
+/// Serial build with no net-size filter (historical entry point).
 [[nodiscard]] Graph intersection_graph(const Hypergraph& h);
 
 }  // namespace fhp

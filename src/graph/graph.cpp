@@ -47,30 +47,39 @@ void GraphBuilder::add_edge(VertexId u, VertexId v) {
   edges_.emplace_back(u, v);
 }
 
-Graph GraphBuilder::build() && {
-  // Normalize to (min, max), sort, dedupe.
-  for (auto& [u, v] : edges_) {
-    if (u > v) std::swap(u, v);
+Graph Graph::from_sorted_unique_edges(
+    VertexId num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  FHP_DEBUG_ASSERT(std::is_sorted(edges.begin(), edges.end()) &&
+                       std::adjacent_find(edges.begin(), edges.end()) ==
+                           edges.end(),
+                   "edge list must be sorted and unique");
+  for ([[maybe_unused]] const auto& [u, v] : edges) {
+    FHP_DEBUG_ASSERT(u < v && v < num_vertices,
+                     "edges must be normalized (u < v) and in range");
   }
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return assemble_csr(num_vertices, edges);
+}
 
+Graph Graph::assemble_csr(
+    VertexId num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
   Graph g;
-  std::vector<std::size_t> counts(static_cast<std::size_t>(num_vertices_) + 1,
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_vertices) + 1,
                                   0);
-  for (const auto& [u, v] : edges_) {
+  for (const auto& [u, v] : edges) {
     ++counts[u + 1];
     ++counts[v + 1];
   }
   std::partial_sum(counts.begin(), counts.end(), counts.begin());
   g.offsets_ = counts;
-  g.adjacency_.resize(edges_.size() * 2);
+  g.adjacency_.resize(edges.size() * 2);
   std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
   // Insert in two ordered passes so each neighbor list ends up sorted:
   // first the (u, v) direction in edge order (v ascending per u because the
   // edge list is sorted), then the reverse direction.
-  for (const auto& [u, v] : edges_) g.adjacency_[cursor[u]++] = v;
-  for (const auto& [u, v] : edges_) g.adjacency_[cursor[v]++] = u;
+  for (const auto& [u, v] : edges) g.adjacency_[cursor[u]++] = v;
+  for (const auto& [u, v] : edges) g.adjacency_[cursor[v]++] = u;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
     auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
@@ -78,6 +87,16 @@ Graph GraphBuilder::build() && {
     g.max_degree_ = std::max(g.max_degree_, g.degree(v));
   }
   return g;
+}
+
+Graph GraphBuilder::build() && {
+  // Normalize to (min, max), sort, dedupe.
+  for (auto& [u, v] : edges_) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return Graph::assemble_csr(num_vertices_, edges_);
 }
 
 }  // namespace fhp

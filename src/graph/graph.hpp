@@ -27,6 +27,15 @@ class Graph {
       VertexId num_vertices,
       const std::vector<std::pair<VertexId, VertexId>>& edges);
 
+  /// Fast path for bulk constructions that deduplicate themselves (e.g. the
+  /// sharded intersection build): \p edges must already be normalized
+  /// (u < v), sorted ascending and free of duplicates. Skips the
+  /// normalize/sort/unique pass of GraphBuilder; preconditions are checked
+  /// in debug builds only.
+  [[nodiscard]] static Graph from_sorted_unique_edges(
+      VertexId num_vertices,
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
   /// Number of vertices.
   [[nodiscard]] VertexId num_vertices() const noexcept {
     return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
@@ -58,6 +67,12 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  /// CSR assembly shared by GraphBuilder::build() and
+  /// from_sorted_unique_edges(); requires a normalized sorted unique list.
+  [[nodiscard]] static Graph assemble_csr(
+      VertexId num_vertices,
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
   std::vector<std::size_t> offsets_{0};
   std::vector<VertexId> adjacency_;
   std::uint32_t max_degree_ = 0;

@@ -1,5 +1,7 @@
 #include "obs/counters.hpp"
 
+#include <mutex>
+
 namespace fhp::obs {
 
 Counters& Counters::instance() {
@@ -8,26 +10,72 @@ Counters& Counters::instance() {
 }
 
 void Counters::add(const char* name, long long delta) {
-  counters_[name] += delta;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      it->second.fetch_add(delta, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  counters_[name].fetch_add(delta, std::memory_order_relaxed);
 }
 
 void Counters::set_gauge(const char* name, double value) {
-  gauges_[name] = value;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) {
+      it->second.store(value, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  gauges_[name].store(value, std::memory_order_relaxed);
 }
 
 long long Counters::value(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = counters_.find(std::string(name));
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end()
+             ? 0
+             : it->second.load(std::memory_order_relaxed);
 }
 
 double Counters::gauge(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = gauges_.find(std::string(name));
-  return it == gauges_.end() ? 0.0 : it->second;
+  return it == gauges_.end() ? 0.0
+                             : it->second.load(std::memory_order_relaxed);
 }
 
 void Counters::reset() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
+}
+
+std::vector<std::pair<std::string, long long>> Counters::counters_snapshot()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::pair<std::string, long long>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    out.emplace_back(name, value.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Counters::gauges_snapshot()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) {
+    out.emplace_back(name, value.load(std::memory_order_relaxed));
+  }
+  return out;
 }
 
 }  // namespace fhp::obs

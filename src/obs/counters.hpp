@@ -11,16 +11,23 @@
 /// names to string literals: the registry stores one map entry per distinct
 /// name, and literals make call sites greppable.
 ///
-/// Like the tracer, the registry is a process-wide singleton, not
-/// thread-safe, and the FHP_COUNTER_ADD / FHP_GAUGE_SET macros compile to
-/// nothing under -DFHP_ENABLE_TRACING=OFF (macro arguments must therefore
-/// be side-effect free). The class API itself is always available.
+/// The registry is a process-wide singleton and is THREAD-SAFE: values are
+/// std::atomic, so FHP_COUNTER_ADD / FHP_GAUGE_SET may be issued
+/// concurrently from thread-pool workers (see docs/parallelism.md); adds
+/// never lose updates and gauges are last-write-wins with no torn reads.
+/// The macros compile to nothing under -DFHP_ENABLE_TRACING=OFF (macro
+/// arguments must therefore be side-effect free). The class API itself is
+/// always available.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #ifndef FHP_TRACING_ENABLED
 #define FHP_TRACING_ENABLED 1
@@ -34,10 +41,11 @@ class Counters {
  public:
   static Counters& instance();
 
-  /// Adds \p delta to counter \p name (creating it at zero).
+  /// Adds \p delta to counter \p name (creating it at zero). Thread-safe;
+  /// concurrent adds to the same counter never lose increments.
   void add(const char* name, long long delta);
 
-  /// Sets gauge \p name to \p value (last write wins).
+  /// Sets gauge \p name to \p value (last write wins). Thread-safe.
   void set_gauge(const char* name, double value);
 
   /// Current value of counter \p name; 0 when it was never touched.
@@ -46,23 +54,26 @@ class Counters {
   /// Current value of gauge \p name; 0.0 when it was never set.
   [[nodiscard]] double gauge(std::string_view name) const;
 
-  /// Drops every counter and gauge.
+  /// Drops every counter and gauge. Do not race with concurrent writers
+  /// (reset between parallel regions, not inside them).
   void reset();
 
-  [[nodiscard]] const std::unordered_map<std::string, long long>& counters()
-      const noexcept {
-    return counters_;
-  }
-  [[nodiscard]] const std::unordered_map<std::string, double>& gauges()
-      const noexcept {
-    return gauges_;
-  }
+  /// Copies every counter out (unsorted). Thread-safe.
+  [[nodiscard]] std::vector<std::pair<std::string, long long>>
+  counters_snapshot() const;
+
+  /// Copies every gauge out (unsorted). Thread-safe.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges_snapshot()
+      const;
 
  private:
   Counters() = default;
 
-  std::unordered_map<std::string, long long> counters_;
-  std::unordered_map<std::string, double> gauges_;
+  /// Map nodes are pointer-stable, so a slot found under the shared lock
+  /// stays valid for the lock-free atomic update.
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::atomic<long long>> counters_;
+  std::unordered_map<std::string, std::atomic<double>> gauges_;
 };
 
 }  // namespace fhp::obs

@@ -64,13 +64,13 @@ double TraceReport::gauge(std::string_view name) const {
 }
 
 TraceReport snapshot() {
-  const Tracer& tracer = Tracer::instance();
+  const TracerSnapshot merged = Tracer::instance().snapshot();
   const Counters& registry = Counters::instance();
   TraceReport report;
   report.tracing_compiled = FHP_TRACING_ENABLED != 0;
 
-  report.spans.reserve(tracer.nodes().size());
-  for (const SpanNode& node : tracer.nodes()) {
+  report.spans.reserve(merged.nodes.size());
+  for (const SpanNode& node : merged.nodes) {
     TraceSpan span;
     span.name = node.name;
     span.parent = node.parent;
@@ -79,20 +79,21 @@ TraceReport snapshot() {
     report.spans.push_back(std::move(span));
   }
 
-  report.events.reserve(tracer.events().size());
-  for (const RawEvent& raw : tracer.events()) {
+  report.events.reserve(merged.events.size());
+  for (const RawEvent& raw : merged.events) {
     TraceEvent event;
     event.span = raw.node;
+    event.tid = raw.tid;
     event.start_us = raw.start_us;
     event.dur_us = raw.dur_us;
     report.events.push_back(event);
   }
-  report.dropped_events = tracer.dropped_events();
+  report.dropped_events = merged.dropped_events;
+  report.threads = merged.threads;
 
-  report.counters.assign(registry.counters().begin(),
-                         registry.counters().end());
+  report.counters = registry.counters_snapshot();
   std::sort(report.counters.begin(), report.counters.end());
-  report.gauges.assign(registry.gauges().begin(), registry.gauges().end());
+  report.gauges = registry.gauges_snapshot();
   std::sort(report.gauges.begin(), report.gauges.end());
   return report;
 }
@@ -107,6 +108,11 @@ std::string to_tree_string(const TraceReport& report) {
   const std::uint64_t root_total = report.root_total_ns();
   appendf(out, "phase tree — wall total %.3f ms\n",
           static_cast<double>(root_total) / 1e6);
+  if (report.threads > 1) {
+    appendf(out,
+            "  (%u recording threads; root totals sum CPU time, not wall)\n",
+            report.threads);
+  }
   if (report.spans.empty()) {
     out += "  (no spans recorded";
     out += report.tracing_compiled
@@ -176,6 +182,7 @@ std::string to_json(const TraceReport& report) {
   out += report.tracing_compiled ? "true" : "false";
   appendf(out, ", \"wall_total_ns\": %llu",
           static_cast<unsigned long long>(report.root_total_ns()));
+  appendf(out, ", \"threads\": %u", report.threads);
 
   out += ", \"spans\": [";
   for (std::size_t i = 0; i < report.spans.size(); ++i) {
@@ -230,9 +237,9 @@ std::string to_chrome_trace(const TraceReport& report) {
     out += "{\"name\": \"";
     out += json_escape(report.spans[event.span].name);
     out += "\", \"cat\": \"fhp\", \"ph\": \"X\"";
-    appendf(out, ", \"ts\": %llu, \"dur\": %llu, \"pid\": 0, \"tid\": 0}",
+    appendf(out, ", \"ts\": %llu, \"dur\": %llu, \"pid\": 0, \"tid\": %u}",
             static_cast<unsigned long long>(event.start_us),
-            static_cast<unsigned long long>(event.dur_us));
+            static_cast<unsigned long long>(event.dur_us), event.tid);
   }
   out += "]}";
   return out;

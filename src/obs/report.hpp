@@ -35,6 +35,7 @@ struct TraceSpan {
 /// One raw event of a snapshot (for the chrome trace exporter).
 struct TraceEvent {
   std::uint32_t span = 0;  ///< index into TraceReport::spans
+  std::uint32_t tid = 0;   ///< recording thread (registration order)
   std::uint64_t start_us = 0;
   std::uint64_t dur_us = 0;
 };
@@ -50,6 +51,11 @@ struct TraceReport {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<TraceEvent> events;
   std::uint64_t dropped_events = 0;
+  /// Number of threads that recorded spans or events. Under parallel
+  /// execution each worker's spans are their own roots, so root_total_ns()
+  /// aggregates CPU time across threads, not wall time (see
+  /// docs/parallelism.md).
+  std::uint32_t threads = 0;
 
   /// Sum of wall time over top-level spans (the tree's 100% reference).
   [[nodiscard]] std::uint64_t root_total_ns() const;
@@ -79,7 +85,7 @@ void reset();
 [[nodiscard]] std::string to_tree_string(const TraceReport& report);
 
 /// Renders the report as a JSON object:
-///   {"tracing_compiled": bool, "wall_total_ns": int,
+///   {"tracing_compiled": bool, "wall_total_ns": int, "threads": int,
 ///    "spans": [{"name", "parent", "total_ns", "calls"}...],
 ///    "counters": {...}, "gauges": {...}, "dropped_events": int}
 [[nodiscard]] std::string to_json(const TraceReport& report);

@@ -2,69 +2,170 @@
 
 namespace fhp::obs {
 
-Tracer::Tracer() : epoch_(Clock::now()) {}
+namespace {
+
+/// Calling thread's slot, shared with the registry so recordings survive
+/// thread exit (a pool may be destroyed before the report is taken).
+thread_local std::shared_ptr<void> tls_state;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(Clock::now().time_since_epoch().count()) {}
 
 Tracer& Tracer::instance() {
   static Tracer tracer;
   return tracer;
 }
 
+Tracer::ThreadState& Tracer::local_state() {
+  if (!tls_state) {
+    auto fresh = std::make_shared<ThreadState>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    fresh->tid = next_tid_++;
+    states_.push_back(fresh);
+    tls_state = fresh;
+  }
+  return *static_cast<ThreadState*>(tls_state.get());
+}
+
+const Tracer::ThreadState* Tracer::local_state_if_any() const {
+  return static_cast<const ThreadState*>(tls_state.get());
+}
+
 std::uint32_t Tracer::open(const char* name) {
-  auto& lookup = stack_.empty() ? roots_ : nodes_[stack_.back()].children;
+  ThreadState& st = local_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  auto& lookup = st.stack.empty() ? st.roots : st.nodes[st.stack.back()].children;
   const auto it = lookup.find(name);
   std::uint32_t node;
   if (it != lookup.end()) {
     node = it->second;
   } else {
-    node = static_cast<std::uint32_t>(nodes_.size());
+    node = static_cast<std::uint32_t>(st.nodes.size());
     SpanNode fresh;
     fresh.name = name;
-    fresh.parent = stack_.empty() ? kNoSpan : stack_.back();
-    // Note: push_back may reallocate nodes_, invalidating `lookup` — insert
-    // through the map freshly fetched afterwards.
-    nodes_.push_back(std::move(fresh));
+    fresh.parent = st.stack.empty() ? kNoSpan : st.stack.back();
+    // Note: push_back may reallocate st.nodes, invalidating `lookup` —
+    // insert through the map freshly fetched afterwards.
+    st.nodes.push_back(std::move(fresh));
     auto& lookup_after =
-        stack_.empty() ? roots_ : nodes_[stack_.back()].children;
+        st.stack.empty() ? st.roots : st.nodes[st.stack.back()].children;
     lookup_after.emplace(name, node);
   }
-  stack_.push_back(node);
+  st.stack.push_back(node);
   return node;
 }
 
 void Tracer::close(std::uint32_t node, Clock::time_point start) {
+  ThreadState& st = local_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
   // Defensive: a reset() between open and close leaves a stale handle; drop
   // the close silently rather than corrupting the fresh tree.
-  if (stack_.empty() || stack_.back() != node || node >= nodes_.size()) {
+  if (st.stack.empty() || st.stack.back() != node || node >= st.nodes.size()) {
     return;
   }
-  stack_.pop_back();
+  st.stack.pop_back();
   const Clock::time_point end = Clock::now();
   const auto elapsed_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
           .count());
-  SpanNode& span = nodes_[node];
+  SpanNode& span = st.nodes[node];
   span.total_ns += elapsed_ns;
   ++span.calls;
-  if (events_.size() < kMaxEvents) {
+  if (st.events.size() < kMaxEvents) {
+    const Clock::time_point epoch{Clock::duration{
+        epoch_ns_.load(std::memory_order_relaxed)}};
     RawEvent event;
     event.node = node;
+    event.tid = st.tid;
     event.start_us = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(start - epoch_)
+        std::chrono::duration_cast<std::chrono::microseconds>(start - epoch)
             .count());
     event.dur_us = elapsed_ns / 1000;
-    events_.push_back(event);
+    st.events.push_back(event);
   } else {
-    ++dropped_events_;
+    ++st.dropped_events;
   }
 }
 
 void Tracer::reset() {
-  nodes_.clear();
-  roots_.clear();
-  stack_.clear();
-  events_.clear();
-  dropped_events_ = 0;
-  epoch_ = Clock::now();
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const auto& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->nodes.clear();
+    state->roots.clear();
+    state->stack.clear();
+    state->events.clear();
+    state->dropped_events = 0;
+  }
+  // Buffers of exited threads (registry holds the only reference) would
+  // otherwise accumulate across pool lifetimes.
+  std::erase_if(states_,
+                [](const std::shared_ptr<ThreadState>& state) {
+                  return state.use_count() == 1;
+                });
+  epoch_ns_.store(Clock::now().time_since_epoch().count(),
+                  std::memory_order_relaxed);
+}
+
+TracerSnapshot Tracer::snapshot() const {
+  TracerSnapshot out;
+  std::unordered_map<std::string, std::uint32_t> merged_roots;
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const auto& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->nodes.empty() && state->events.empty() &&
+        state->dropped_events == 0) {
+      continue;
+    }
+    ++out.threads;
+    // Remap this thread's nodes into the merged tree by (parent, name);
+    // nodes are created parents-first, so a forward scan always finds the
+    // remapped parent before its children.
+    std::vector<std::uint32_t> remap(state->nodes.size());
+    for (std::uint32_t i = 0; i < state->nodes.size(); ++i) {
+      const SpanNode& local = state->nodes[i];
+      const std::uint32_t parent =
+          local.parent == kNoSpan ? kNoSpan : remap[local.parent];
+      auto& lookup =
+          parent == kNoSpan ? merged_roots : out.nodes[parent].children;
+      const auto it = lookup.find(local.name);
+      std::uint32_t merged;
+      if (it != lookup.end()) {
+        merged = it->second;
+        out.nodes[merged].total_ns += local.total_ns;
+        out.nodes[merged].calls += local.calls;
+      } else {
+        merged = static_cast<std::uint32_t>(out.nodes.size());
+        SpanNode fresh;
+        fresh.name = local.name;
+        fresh.parent = parent;
+        fresh.total_ns = local.total_ns;
+        fresh.calls = local.calls;
+        // push_back may reallocate out.nodes, invalidating `lookup` —
+        // insert through the map freshly fetched afterwards.
+        out.nodes.push_back(std::move(fresh));
+        auto& lookup_after =
+            parent == kNoSpan ? merged_roots : out.nodes[parent].children;
+        lookup_after.emplace(local.name, merged);
+      }
+      remap[i] = merged;
+    }
+    for (const RawEvent& raw : state->events) {
+      RawEvent event = raw;
+      event.node = remap[raw.node];
+      out.events.push_back(event);
+    }
+    out.dropped_events += state->dropped_events;
+  }
+  return out;
+}
+
+std::size_t Tracer::open_depth() const {
+  const ThreadState* st = local_state_if_any();
+  if (st == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(st->mutex);
+  return st->stack.size();
 }
 
 }  // namespace fhp::obs

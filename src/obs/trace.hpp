@@ -1,6 +1,6 @@
 /// \file trace.hpp
 /// Hierarchical scoped-span tracer — the timing half of the observability
-/// layer (see docs/observability.md).
+/// layer (see docs/observability.md and docs/parallelism.md).
 ///
 /// Usage at an instrumentation site:
 ///
@@ -16,18 +16,26 @@
 /// 50 rows. Every span additionally appends one event to a bounded log so
 /// the run can be replayed in `chrome://tracing` (see obs/report.hpp).
 ///
+/// Threading model: the tracer is a process-wide singleton and THREAD-SAFE.
+/// Each thread records into its own span tree and event buffer (spans nest
+/// within their thread only — a worker's spans do not become children of
+/// whatever the spawning thread had open), and snapshot() merges every
+/// thread's tree by (parent path, name) into one aggregate. The per-thread
+/// buffers make open/close effectively uncontended: they lock only their
+/// own thread's mutex, which snapshot()/reset() take when they walk all
+/// threads. Do not reset() while spans are open anywhere.
+///
 /// Compile-time kill switch: configure with -DFHP_ENABLE_TRACING=OFF and
 /// every FHP_TRACE_SCOPE / FHP_COUNTER_* call site compiles to nothing —
 /// zero instructions, zero data. The runtime classes below stay defined in
 /// both modes so exporters, tests and tools always compile and link.
-///
-/// The tracer is a process-wide singleton and is NOT thread-safe, matching
-/// the single-threaded algorithms in this repository; revisit when a
-/// parallelism PR lands. Do not reset() while spans are open.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,22 +49,35 @@ namespace fhp::obs {
 /// Sentinel parent index of top-level spans.
 inline constexpr std::uint32_t kNoSpan = 0xffffffffU;
 
-/// One aggregated node of the span tree.
+/// One aggregated node of a span tree.
 struct SpanNode {
   std::string name;                ///< span label (a string literal upstream)
-  std::uint32_t parent = kNoSpan;  ///< index into Tracer::nodes(), or kNoSpan
+  std::uint32_t parent = kNoSpan;  ///< index into the owning tree, or kNoSpan
   std::uint64_t total_ns = 0;      ///< wall time over all entries (incl. children)
   std::uint64_t calls = 0;         ///< completed entries
-  /// Child lookup by name; values index Tracer::nodes(). A parent is always
+  /// Child lookup by name; values index the owning tree. A parent is always
   /// created before its children, so parent index < child index everywhere.
   std::unordered_map<std::string, std::uint32_t> children;
 };
 
 /// One raw span entry for the chrome://tracing event log.
 struct RawEvent {
-  std::uint32_t node = 0;      ///< index into Tracer::nodes()
+  std::uint32_t node = 0;      ///< index into the owning span tree
+  std::uint32_t tid = 0;       ///< recording thread (registration order)
   std::uint64_t start_us = 0;  ///< microseconds since the tracer epoch
   std::uint64_t dur_us = 0;
+};
+
+/// Merged view over every thread's recordings; see Tracer::snapshot().
+struct TracerSnapshot {
+  /// Merged span tree; parents precede children, and the first-registered
+  /// thread's creation order is preserved (later threads' novel spans
+  /// append after).
+  std::vector<SpanNode> nodes;
+  std::vector<RawEvent> events;  ///< node indices refer to `nodes`
+  std::uint64_t dropped_events = 0;
+  /// Number of threads that recorded at least one span or event.
+  std::uint32_t threads = 0;
 };
 
 /// Process-wide span registry. Use via FHP_TRACE_SCOPE / ScopedSpan; the
@@ -64,46 +85,57 @@ struct RawEvent {
 class Tracer {
  public:
   using Clock = std::chrono::steady_clock;
-  /// Event-log bound; entries past it are dropped (aggregates still count).
+  /// Per-thread event-log bound; entries past it are dropped (aggregates
+  /// still count).
   static constexpr std::size_t kMaxEvents = std::size_t{1} << 18;
 
   static Tracer& instance();
 
-  /// Finds or creates the child \p name of the innermost open span (or a
-  /// top-level node) and marks it open. Returns its node index.
+  /// Finds or creates the child \p name of the calling thread's innermost
+  /// open span (or a top-level node of its tree) and marks it open.
+  /// Returns its node index within the calling thread's tree.
   std::uint32_t open(const char* name);
 
-  /// Closes the innermost open span, which must be \p node with entry time
-  /// \p start. Calls that do not match (e.g. after a mid-span reset) are
-  /// ignored so a stray ScopedSpan can never corrupt the tree.
+  /// Closes the calling thread's innermost open span, which must be
+  /// \p node with entry time \p start. Calls that do not match (e.g. after
+  /// a mid-span reset) are ignored so a stray ScopedSpan can never corrupt
+  /// the tree.
   void close(std::uint32_t node, Clock::time_point start);
 
-  /// Drops all spans, events and the open-span stack; restarts the epoch.
+  /// Drops all spans, events and open-span stacks of every thread;
+  /// restarts the epoch and prunes buffers of threads that have exited.
   void reset();
 
-  [[nodiscard]] const std::vector<SpanNode>& nodes() const noexcept {
-    return nodes_;
-  }
-  [[nodiscard]] const std::vector<RawEvent>& events() const noexcept {
-    return events_;
-  }
-  [[nodiscard]] std::uint64_t dropped_events() const noexcept {
-    return dropped_events_;
-  }
-  /// Number of currently open spans (0 between well-nested regions).
-  [[nodiscard]] std::size_t open_depth() const noexcept {
-    return stack_.size();
-  }
+  /// Merges every thread's tree/events into one aggregate view.
+  [[nodiscard]] TracerSnapshot snapshot() const;
+
+  /// Number of spans the CALLING thread currently has open (0 between
+  /// well-nested regions).
+  [[nodiscard]] std::size_t open_depth() const;
 
  private:
-  Tracer();
+  /// One thread's private recording buffers. `mutex` is uncontended in
+  /// steady state (only its own thread takes it) except while snapshot()
+  /// or reset() walk the registry.
+  struct ThreadState {
+    mutable std::mutex mutex;
+    std::vector<SpanNode> nodes;
+    std::unordered_map<std::string, std::uint32_t> roots;
+    std::vector<std::uint32_t> stack;  ///< open node ids
+    std::vector<RawEvent> events;
+    std::uint64_t dropped_events = 0;
+    std::uint32_t tid = 0;  ///< registration index (stable across reset)
+  };
 
-  std::vector<SpanNode> nodes_;
-  std::unordered_map<std::string, std::uint32_t> roots_;  ///< top-level lookup
-  std::vector<std::uint32_t> stack_;                      ///< open node ids
-  std::vector<RawEvent> events_;
-  std::uint64_t dropped_events_ = 0;
-  Clock::time_point epoch_;
+  Tracer();
+  /// The calling thread's state, registering it on first use.
+  ThreadState& local_state();
+  [[nodiscard]] const ThreadState* local_state_if_any() const;
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadState>> states_;  ///< registration order
+  std::uint32_t next_tid_ = 0;
+  std::atomic<Clock::rep> epoch_ns_;  ///< epoch as steady_clock ticks
 };
 
 /// RAII span handle: opens on construction, closes on destruction.

@@ -112,8 +112,34 @@ class Rng {
                                                            std::uint32_t k);
 
   /// Derives an independent child generator; useful for giving each of a
-  /// family of tasks its own stream from one master seed.
+  /// family of tasks its own stream from one master seed. Note split()
+  /// *advances* this generator — sequential use only. For concurrent or
+  /// order-independent derivation use fork().
   [[nodiscard]] Rng split() noexcept { return Rng((*this)()); }
+
+  /// Derives the \p stream_id'th child stream of this generator's current
+  /// state via SplitMix64 hashing, without advancing (or reading mutable)
+  /// parent state.
+  ///
+  /// Determinism contract: generators with equal state yield bit-equal
+  /// children for equal stream ids; children for distinct stream ids are
+  /// statistically independent of each other and of the parent's own
+  /// output stream; and because fork() is const, a family of parallel
+  /// tasks can each derive fork(task_index) from one master generator in
+  /// any order — or concurrently — and always reproduce the same streams.
+  /// This is the substrate for per-start RNGs in multi-start drivers
+  /// (seed the master from the run seed, fork per start index).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t sm = state_[0] ^ (stream_id + 0x9e3779b97f4a7c15ULL);
+    std::uint64_t seed = splitmix64(sm);
+    sm ^= state_[1];
+    seed ^= splitmix64(sm);
+    sm ^= state_[2];
+    seed ^= splitmix64(sm);
+    sm ^= state_[3];
+    seed ^= splitmix64(sm);
+    return Rng(seed);
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -159,6 +159,48 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LT(equal, 4);
 }
 
+TEST(Rng, ForkIsDeterministicAndLeavesParentUntouched) {
+  const Rng parent(91);
+  Rng a = parent.fork(5);
+  Rng b = parent.fork(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+  // fork() is const: the parent's own stream is unaffected by any number
+  // of forks, and matches a never-forked twin.
+  Rng forked(91);
+  (void)forked.fork(1);
+  (void)forked.fork(2);
+  Rng pristine(91);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(forked(), pristine());
+}
+
+TEST(Rng, ForkStreamsAreMutuallyIndependent) {
+  const Rng parent(17);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  Rng own(17);
+  int equal_ab = 0;
+  int equal_ap = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t x = a();
+    if (x == b()) ++equal_ab;
+    if (x == own()) ++equal_ap;
+  }
+  EXPECT_LT(equal_ab, 4);
+  EXPECT_LT(equal_ap, 4);
+}
+
+TEST(Rng, ForkDependsOnParentState) {
+  // Equal ids under different parent states give different streams: the
+  // child is a function of (state, id), not of id alone.
+  Rng a = Rng(1).fork(3);
+  Rng b = Rng(2).fork(3);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
 TEST(Splitmix, KnownNonDegenerate) {
   std::uint64_t s = 0;
   const auto a = splitmix64(s);

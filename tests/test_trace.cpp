@@ -10,12 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 
 #include "core/algorithm1.hpp"
 #include "gen/planted.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/parallel.hpp"
 
 namespace fhp {
 namespace {
@@ -265,6 +268,179 @@ TEST_F(TraceTest, Algorithm1DiagnosticsAgreeWithCounters) {
   EXPECT_TRUE(report.empty());
 #endif
 }
+
+// ---- thread-safety: the registry APIs under concurrent pool workers.
+// The direct Counters/ScopedSpan APIs record in both build modes, so these
+// tests stress the locking in the -DFHP_ENABLE_TRACING=OFF configuration
+// too (and they are the workload of the ThreadSanitizer CI job).
+
+TEST_F(TraceTest, CountersAreExactUnderConcurrentAdds) {
+  constexpr int kAddsPerTask = 1000;
+  constexpr std::size_t kTasks = 64;
+  ThreadPool pool(8);
+  pool.parallel_for(kTasks, 1, [](std::size_t task, std::size_t) {
+    for (int i = 0; i < kAddsPerTask; ++i) {
+      Counters::instance().add("test/contended", 1);
+      Counters::instance().add(task % 2 == 0 ? "test/even" : "test/odd", 1);
+      Counters::instance().set_gauge("test/last_task",
+                                     static_cast<double>(task));
+    }
+  });
+  // No increment may be lost, however the adds interleaved.
+  EXPECT_EQ(Counters::instance().value("test/contended"),
+            static_cast<long long>(kTasks) * kAddsPerTask);
+  EXPECT_EQ(Counters::instance().value("test/even") +
+                Counters::instance().value("test/odd"),
+            static_cast<long long>(kTasks) * kAddsPerTask);
+  // The gauge holds *some* task's value (last write wins, no torn reads).
+  const double last = Counters::instance().gauge("test/last_task");
+  EXPECT_GE(last, 0.0);
+  EXPECT_LT(last, static_cast<double>(kTasks));
+}
+
+TEST_F(TraceTest, MacroCountersFromPoolWorkers) {
+  ThreadPool pool(4);
+  pool.parallel_for(32, 1, [](std::size_t, std::size_t) {
+    FHP_COUNTER_ADD("test/macro_concurrent", 2);
+    FHP_GAUGE_SET("test/macro_gauge", 1.0);
+  });
+  const TraceReport report = obs::snapshot();
+#if FHP_TRACING_ENABLED
+  EXPECT_EQ(report.counter("test/macro_concurrent"), 64);
+  EXPECT_DOUBLE_EQ(report.gauge("test/macro_gauge"), 1.0);
+#else
+  EXPECT_TRUE(report.empty());
+#endif
+}
+
+TEST_F(TraceTest, ConcurrentNestedSpansMergeAcrossThreads) {
+  constexpr std::size_t kTasks = 24;
+  ThreadPool pool(4);
+  pool.parallel_for(kTasks, 1, [](std::size_t, std::size_t) {
+    ScopedSpan outer("worker");
+    for (int i = 0; i < 3; ++i) {
+      ScopedSpan inner("step");
+    }
+  });
+  const TraceReport report = obs::snapshot();
+  // Every thread's "worker" spans merge into one root; its "step" children
+  // aggregate under it. Calls sum exactly — concurrency loses nothing.
+  EXPECT_EQ(report.span_calls("worker"), kTasks);
+  EXPECT_EQ(report.span_calls("step"), kTasks * 3);
+  EXPECT_GE(report.threads, 1U);
+  // "step" sits under "worker" in the merged tree.
+  for (std::size_t i = 0; i < report.spans.size(); ++i) {
+    if (report.spans[i].name == "step") {
+      ASSERT_NE(report.spans[i].parent, obs::kNoSpan);
+      EXPECT_EQ(report.spans[report.spans[i].parent].name, "worker");
+    }
+  }
+  // Events carry their recording thread; ids stay within the thread count.
+  for (const obs::TraceEvent& event : report.events) {
+    EXPECT_LT(event.tid, 64U);
+  }
+}
+
+TEST_F(TraceTest, SpanNestingStaysPerThread) {
+  // Another thread's spans must NOT become children of whatever this
+  // thread has open: nesting is per-thread by design.
+  {
+    ScopedSpan caller("caller_root");
+    std::thread other([] { ScopedSpan span("other_span"); });
+    other.join();
+  }
+  const TraceReport report = obs::snapshot();
+  EXPECT_EQ(report.span_calls("caller_root"), 1U);
+  EXPECT_EQ(report.span_calls("other_span"), 1U);
+  for (const obs::TraceSpan& span : report.spans) {
+    if (span.name == "other_span") {
+      EXPECT_EQ(span.parent, obs::kNoSpan)
+          << "a foreign thread's span leaked under caller_root";
+    }
+  }
+}
+
+TEST_F(TraceTest, RendezvousGuaranteesMultipleRecordingThreads) {
+  // Each chunk spins until a second thread has entered the region, so at
+  // least two distinct threads provably record spans — deterministic even
+  // on a single hardware core (a lone thread cannot claim a second chunk
+  // while spinning inside its first).
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  pool.parallel_for(4, 1, [&](std::size_t, std::size_t) {
+    ScopedSpan span("rendezvous");
+    arrived.fetch_add(1);
+    while (arrived.load(std::memory_order_relaxed) < 2) {
+      std::this_thread::yield();
+    }
+  });
+  const TraceReport report = obs::snapshot();
+  EXPECT_EQ(report.span_calls("rendezvous"), 4U);
+  EXPECT_GE(report.threads, 2U);
+}
+
+TEST_F(TraceTest, SnapshotWhileWorkersRecord) {
+  // snapshot() may run concurrently with recording; it must return a
+  // consistent tree (no crashes, parents precede children) even while
+  // workers are mid-span.
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const TraceReport report = obs::snapshot();
+      for (std::size_t i = 0; i < report.spans.size(); ++i) {
+        const std::uint32_t parent = report.spans[i].parent;
+        if (parent != obs::kNoSpan) ASSERT_LT(parent, i);
+      }
+    }
+  });
+  pool.parallel_for(64, 1, [](std::size_t, std::size_t) {
+    ScopedSpan outer("snap_outer");
+    ScopedSpan inner("snap_inner");
+    Counters::instance().add("test/snap", 1);
+  });
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  EXPECT_EQ(obs::snapshot().span_calls("snap_outer"), 64U);
+  EXPECT_EQ(Counters::instance().value("test/snap"), 64);
+}
+
+TEST_F(TraceTest, ResetPrunesExitedThreadBuffers) {
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(8, 1, [](std::size_t, std::size_t) {
+      ScopedSpan span("ephemeral");
+    });
+  }  // pool destroyed: its workers have exited
+  EXPECT_EQ(obs::snapshot().span_calls("ephemeral"), 8U);
+  obs::reset();  // prunes dead-thread states along with the data
+  EXPECT_TRUE(obs::snapshot().spans.empty());
+  // Fresh recordings after the prune still work.
+  { ScopedSpan span("after"); }
+  EXPECT_EQ(obs::snapshot().span_calls("after"), 1U);
+}
+
+#if FHP_TRACING_ENABLED
+TEST_F(TraceTest, ParallelAlgorithm1ReportsWorkerThreads) {
+  const Hypergraph h = cross_validation_instance();
+  Algorithm1Options options;
+  options.seed = 11;
+  options.num_starts = 8;
+  options.threads = 4;
+  options.collect_trace = true;
+  const Algorithm1Result result = algorithm1(h, options);
+  // Per-start span calls sum exactly no matter which lane ran which start.
+  // (threads >= 2 is NOT asserted here: on a single hardware core the
+  // caller lane can legitimately drain every start before a worker wakes;
+  // RendezvousGuaranteesMultipleRecordingThreads covers the multi-thread
+  // merge deterministically.)
+  EXPECT_GE(result.trace.threads, 1U);
+  EXPECT_EQ(result.trace.span_calls("boundary"), 8U);
+  EXPECT_EQ(result.trace.counter("alg1/starts_examined"), 8);
+  EXPECT_NE(obs::to_json(result.trace).find("\"threads\":"),
+            std::string::npos);
+}
+#endif
 
 TEST_F(TraceTest, MultiStartCountsEveryStart) {
   const Hypergraph h = cross_validation_instance();

@@ -1,0 +1,240 @@
+/// \file bench_hotpath.cpp
+/// Hot-path regression harness for the workspace substrate, the counting
+/// intersection build and start memoization. Unlike the experiment benches
+/// this one is also a correctness gate wired into CI: it ABORTS (nonzero
+/// exit) when
+///   - the memoized / workspace-backed pipeline is not bit-identical to the
+///     naive allocate-per-start loop,
+///   - per-lane workspace reuse does not cut buffer growths by >= 2x versus
+///     allocate-per-call (tracing builds), or
+///   - a 50-start run records no memo hits (tracing builds).
+/// Timing numbers (ns/start, build times, scratch footprint) go into
+/// BENCH_hotpath.json; the asserts are about counters and bytes, never
+/// about wall time, so the gate is scheduler-noise free.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/intersection.hpp"
+#include "gen/grid.hpp"
+#include "obs/counters.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fhp;
+using namespace fhp::bench;
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (ok) {
+    std::printf("  [ok]   %s\n", what);
+  } else {
+    std::printf("  [FAIL] %s\n", what);
+    ++failures;
+  }
+}
+
+long long counter(const char* name) {
+  return obs::Counters::instance().value(name);
+}
+
+/// Bit-identity of the full options matrix legs: memo on, memo off, and a
+/// hand-rolled allocate-per-start loop over run_single (the pre-workspace
+/// code path, reduced exactly like algorithm1_impl's serial loop).
+void check_bit_identity(const Hypergraph& h) {
+  print_header("bit-identity: memoized vs unmemoized vs naive loop");
+  for (const int threads : {1, 2, 8}) {
+    Algorithm1Options options;
+    options.num_starts = 50;
+    options.seed = 7;
+    options.threads = threads;
+
+    options.memoize_starts = true;
+    const Algorithm1Result memoized = algorithm1(h, options);
+    options.memoize_starts = false;
+    const Algorithm1Result plain = algorithm1(h, options);
+
+    std::string label = "threads=" + std::to_string(threads) +
+                        ": memoized == unmemoized partition";
+    check(memoized.sides == plain.sides &&
+              memoized.metrics.cut_edges == plain.metrics.cut_edges,
+          label.c_str());
+  }
+
+  // Naive loop leg (serial, threads=1 context), reproducing the reduction.
+  Algorithm1Options options;
+  options.num_starts = 50;
+  options.seed = 7;
+  options.threads = 1;
+  const Algorithm1Result full = algorithm1(h, options);
+
+  const Algorithm1Context context(h, options);
+  if (context.is_degenerate()) {
+    // Disconnected G takes the degenerate shortcut: no per-start pipeline
+    // to compare against (the memo on/off legs above still had to agree).
+    std::printf("  [skip] naive loop (degenerate instance)\n");
+    return;
+  }
+  Rng rng(options.seed);
+  std::vector<VertexId> starts(context.intersection().num_vertices());
+  for (VertexId i = 0; i < starts.size(); ++i) starts[i] = i;
+  rng.shuffle(starts);
+  if (static_cast<std::uint64_t>(options.num_starts) < starts.size()) {
+    starts.resize(static_cast<std::size_t>(options.num_starts));
+  }
+  Algorithm1Result naive;
+  bool have = false;
+  for (const VertexId start : starts) {
+    Algorithm1Result candidate = context.run_single(start);
+    const bool take =
+        !have ||
+        candidate.metrics.cut_edges < naive.metrics.cut_edges ||
+        (candidate.metrics.cut_edges == naive.metrics.cut_edges &&
+         candidate.metrics.weight_imbalance < naive.metrics.weight_imbalance);
+    if (take) {
+      naive = std::move(candidate);
+      have = true;
+    }
+  }
+  check(have && naive.sides == full.sides,
+        "naive run_single loop == algorithm1 partition");
+}
+
+/// Allocation accounting: the naive loop pays workspace growths on every
+/// start; the per-lane loop pays them once per lane. Requires tracing.
+void check_allocation_reduction(const Hypergraph& h) {
+  print_header("allocation accounting: per-call vs per-lane workspaces");
+#if FHP_TRACING_ENABLED
+  Algorithm1Options options;
+  options.num_starts = 50;
+  options.seed = 7;
+  options.threads = 1;
+  const Algorithm1Context context(h, options);
+
+  obs::Counters::instance().reset();
+  for (VertexId start = 0;
+       start < std::min<VertexId>(50U, context.intersection().num_vertices());
+       ++start) {
+    static_cast<void>(context.run_single(start));
+  }
+  const long long naive_grows = counter("workspace/buffer_grows");
+
+  obs::Counters::instance().reset();
+  static_cast<void>(algorithm1(h, options));
+  const long long reused_grows = counter("workspace/buffer_grows");
+  const double scratch_bytes =
+      obs::Counters::instance().gauge("alg1/scratch_bytes");
+
+  std::printf("  buffer grows: naive=%lld reused=%lld (scratch %.0f bytes)\n",
+              naive_grows, reused_grows, scratch_bytes);
+  obs::Counters::instance().set_gauge("hotpath/naive_buffer_grows",
+                                      static_cast<double>(naive_grows));
+  obs::Counters::instance().set_gauge("hotpath/reused_buffer_grows",
+                                      static_cast<double>(reused_grows));
+  check(reused_grows > 0 && naive_grows >= 2 * reused_grows,
+        "per-lane reuse cuts buffer growths by >= 2x");
+#else
+  std::printf("  tracing compiled out; allocation counters unavailable\n");
+#endif
+}
+
+/// Memo effectiveness: a 50-start run must register hits (distinct starts
+/// converge onto few pseudo-diameter pairs). Requires tracing.
+void check_memo_hits(const Hypergraph& h) {
+  print_header("memoization: hits on a 50-start run");
+#if FHP_TRACING_ENABLED
+  obs::Counters::instance().reset();
+  Algorithm1Options options;
+  options.num_starts = 50;
+  options.seed = 7;
+  options.threads = 1;
+  static_cast<void>(algorithm1(h, options));
+  const long long hits = counter("algorithm1/starts_memo_hits");
+  const long long misses = counter("algorithm1/starts_memo_misses");
+  std::printf("  memo: %lld hits / %lld misses\n", hits, misses);
+  check(hits > 0, "memo hit counter > 0 on 50 starts");
+  check(hits + misses == counter("alg1/starts_examined"),
+        "every examined start is a hit or a miss");
+#else
+  std::printf("  tracing compiled out; memo counters unavailable\n");
+#endif
+}
+
+/// Timing legs: ns/start for the three pipeline variants and the two
+/// intersection builders. Informational (recorded, never asserted).
+void measure_timings(const Hypergraph& h) {
+  print_header("timings (informational)");
+  constexpr int kStarts = 50;
+  auto run = [&](const char* label, bool memoize) {
+    Algorithm1Options options;
+    options.num_starts = kStarts;
+    options.seed = 7;
+    options.threads = 1;
+    options.memoize_starts = memoize;
+    const TimedRun r = measure(label, [&] { return algorithm1(h, options); });
+    const double ns_per_start = r.seconds * 1e9 / kStarts;
+    obs::Counters::instance().set_gauge(
+        (std::string(label) + "/ns_per_start").c_str(), ns_per_start);
+    std::printf("  %-24s %8.3f ms  (%9.0f ns/start, cut %u)\n", label,
+                r.seconds * 1e3, ns_per_start, static_cast<unsigned>(r.cut));
+  };
+  for (int rep = 0; rep < 5; ++rep) {
+    run("alg1_memoized", true);
+    run("alg1_unmemoized", false);
+  }
+
+  for (int rep = 0; rep < 5; ++rep) {
+    Timer counting;
+    const Graph g1 = intersection_graph(h, {});
+    const double counting_s = counting.seconds();
+    Timer reference;
+    const Graph g2 = intersection_graph_reference(h, {});
+    const double reference_s = reference.seconds();
+    BenchRecorder::instance().add("intersection_counting", counting_s,
+                                  static_cast<double>(g1.num_edges()));
+    BenchRecorder::instance().add("intersection_reference", reference_s,
+                                  static_cast<double>(g2.num_edges()));
+    if (rep == 0) {
+      obs::Counters::instance().set_gauge("hotpath/intersection_counting_s",
+                                          counting_s);
+      obs::Counters::instance().set_gauge("hotpath/intersection_reference_s",
+                                          reference_s);
+      std::printf("  intersection build:      counting %.3f ms, reference "
+                  "%.3f ms (%zu edges)\n",
+                  counting_s * 1e3, reference_s * 1e3, g1.num_edges());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  BenchSession session("hotpath");
+
+  // Three shapes: a standard-cell circuit (the paper's regime), a planted
+  // bisection (dense G), and a grid (deep BFS, many levels).
+  const Hypergraph circuit = make_instance(
+      {"IC", 800, 1200, Technology::kStandardCell, false, 0}, 13);
+  const Hypergraph planted = make_instance(
+      {"Diff", 400, 600, Technology::kStandardCell, true, 6}, 13);
+  const Hypergraph grid = grid_circuit({16, 16, 0.3, false}, 3);
+
+  for (const auto* leg : {&circuit, &planted, &grid}) {
+    check_bit_identity(*leg);
+  }
+  check_allocation_reduction(circuit);
+  check_memo_hits(circuit);
+  measure_timings(circuit);
+
+  if (failures > 0) {
+    std::printf("\nbench_hotpath: %d check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nbench_hotpath: all checks passed\n");
+  return 0;
+}

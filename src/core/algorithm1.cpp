@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <unordered_map>
+#include <utility>
 
 #include "core/boundary.hpp"
 #include "core/intersection.hpp"
@@ -39,10 +41,12 @@ bool better(const Algorithm1Result& a, const Algorithm1Result& b,
 }
 
 /// Distributes the weights of \p vertices (descending weight) onto the
-/// lighter of the running side weights; writes sides in-place.
+/// lighter of the running side weights; writes sides in-place. \p order is
+/// caller-owned sort scratch (the hot path hands in its workspace buffer).
 void balance_assign(const Hypergraph& h, const std::vector<VertexId>& vertices,
-                    std::vector<std::uint8_t>& sides, Weight weights[2]) {
-  std::vector<VertexId> order = vertices;
+                    std::vector<std::uint8_t>& sides, Weight weights[2],
+                    std::vector<VertexId>& order) {
+  order.assign(vertices.begin(), vertices.end());
   std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
     const Weight wa = h.vertex_weight(a);
     const Weight wb = h.vertex_weight(b);
@@ -53,6 +57,13 @@ void balance_assign(const Hypergraph& h, const std::vector<VertexId>& vertices,
     sides[v] = s;
     weights[s] += h.vertex_weight(v);
   }
+}
+
+/// Allocating convenience overload for the cold paths.
+void balance_assign(const Hypergraph& h, const std::vector<VertexId>& vertices,
+                    std::vector<std::uint8_t>& sides, Weight weights[2]) {
+  std::vector<VertexId> order;
+  balance_assign(h, vertices, sides, weights, order);
 }
 
 /// Guarantees both sides are nonempty by flipping the lightest vertex of
@@ -240,19 +251,30 @@ Algorithm1Result Algorithm1Context::run_floating_split() const {
 }
 
 Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
+  StartScratch scratch;
+  Algorithm1Result result = run_single(start, scratch);
+  // Allocate-per-call convenience wrapper: every buffer the scratch grew
+  // was an allocation this call paid for (the per-lane reuse path exports
+  // the same counter once per multi-start run instead of once per start).
+  FHP_COUNTER_ADD("workspace/buffer_grows",
+                  static_cast<long long>(scratch.ws.grow_events()));
+  return result;
+}
+
+Algorithm1Result Algorithm1Context::run_single(VertexId start,
+                                               StartScratch& scratch) const {
   FHP_REQUIRE(!degenerate_, "degenerate instance: use run_degenerate()");
   FHP_REQUIRE(start < g_.num_vertices(), "start vertex out of range");
   FHP_COUNTER_ADD("alg1/starts_examined", 1);
   const Hypergraph& h = *h_;
 
-  Algorithm1Result result;
-  result.filtered_edges = filtered_edge_count();
-  result.sides.assign(h.num_vertices(), kSide0);
-
   // --- Single-net corner case: G is one vertex; the only proper options
   // are "net on one side, the rest on the other" (cut 0) or splitting the
   // net. Prefer the former when possible.
   if (g_.num_vertices() == 1) {
+    Algorithm1Result result;
+    result.filtered_edges = filtered_edge_count();
+    result.sides.assign(h.num_vertices(), kSide0);
     std::vector<std::uint8_t>& sides = result.sides;
     const auto net_pins = filtered_.pins(0);
     if (net_pins.size() < h.num_vertices()) {
@@ -272,9 +294,22 @@ Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
     return result;
   }
 
-  // --- Steps 1-2: pseudo-diameter pair and the initial cut of G.
-  const DiameterPair pair =
-      longest_path_from(g_, start, options_.bfs_sweeps);
+  // --- Steps 1-2: pseudo-diameter pair, then everything downstream of it.
+  return run_from_pair(find_pair(start, scratch.ws), scratch);
+}
+
+DiameterPair Algorithm1Context::find_pair(VertexId start, Workspace& ws) const {
+  FHP_REQUIRE(!degenerate_, "degenerate instance: use run_degenerate()");
+  FHP_REQUIRE(start < g_.num_vertices(), "start vertex out of range");
+  FHP_REQUIRE(g_.num_vertices() >= 2,
+              "a pseudo-diameter pair needs at least two G-vertices");
+  return longest_path_from(g_, start, options_.bfs_sweeps, ws);
+}
+
+Algorithm1Result Algorithm1Context::run_from_pair(const DiameterPair& pair,
+                                                  StartScratch& scratch) const {
+  FHP_REQUIRE(!degenerate_, "degenerate instance: use run_degenerate()");
+  const Hypergraph& h = *h_;
   FHP_ASSERT(pair.s != pair.t, "connected G with >= 2 vertices expected");
   FHP_GAUGE_SET("alg1/pseudo_diameter", pair.distance);
 
@@ -284,20 +319,29 @@ Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
     // end-of-sweep positions (slicing one corner off), so candidates with
     // a lighter side below a quarter of the total weight only win when no
     // balanced prefix exists.
-    const BfsResult levels = [&] {
+    std::uint32_t depth = 0;
+    {
       FHP_TRACE_SCOPE("initial_cut");
-      return bfs(g_, pair.s);
-    }();
+      const BfsSummary levels = bfs_scan(g_, pair.s, scratch.ws);
+      depth = levels.depth;
+      // The completion sweep below reuses the workspace, so the distance
+      // labels must outlive it: copy them into the dedicated buffer.
+      scratch.levels.resize(g_.num_vertices());
+      for (VertexId u = 0; u < g_.num_vertices(); ++u) {
+        scratch.levels[u] = scratch.ws.distance.get(u);
+      }
+    }
     const Weight total = h.total_vertex_weight();
     Algorithm1Result best;
     bool have_best = false;
     bool best_balanced = false;
-    for (std::uint32_t cutoff = 0; cutoff < levels.depth; ++cutoff) {
-      std::vector<std::uint8_t> g_side(g_.num_vertices(), 1);
+    for (std::uint32_t cutoff = 0; cutoff < depth; ++cutoff) {
+      scratch.g_side.assign(g_.num_vertices(), 1);
       for (VertexId u = 0; u < g_.num_vertices(); ++u) {
-        if (levels.distance[u] <= cutoff) g_side[u] = 0;
+        if (scratch.levels[u] <= cutoff) scratch.g_side[u] = 0;
       }
-      Algorithm1Result candidate = complete_from_cut(std::move(g_side));
+      Algorithm1Result candidate = complete_from_cut_impl(scratch.g_side,
+                                                          scratch);
       candidate.pseudo_diameter = pair.distance;
       const bool balanced =
           2 * candidate.metrics.weight_imbalance <= total;
@@ -323,11 +367,12 @@ Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
     return best;
   }
 
-  const BidirectionalCut cut = bidirectional_bfs_cut(g_, pair.s, pair.t);
-  for (std::uint8_t s : cut.side) {
+  bidirectional_bfs_cut(g_, pair.s, pair.t, scratch.ws, scratch.cut);
+  for (std::uint8_t s : scratch.cut.side) {
     FHP_ASSERT(s != 2, "all G-vertices reachable when G is connected");
   }
-  Algorithm1Result completed = complete_from_cut(cut.side);
+  Algorithm1Result completed = complete_from_cut_impl(scratch.cut.side,
+                                                      scratch);
   completed.pseudo_diameter = pair.distance;
   completed.starts_run = 1;
   return completed;
@@ -335,6 +380,15 @@ Algorithm1Result Algorithm1Context::run_single(VertexId start) const {
 
 Algorithm1Result Algorithm1Context::complete_from_cut(
     std::vector<std::uint8_t> g_side) const {
+  StartScratch scratch;
+  Algorithm1Result result = complete_from_cut_impl(g_side, scratch);
+  FHP_COUNTER_ADD("workspace/buffer_grows",
+                  static_cast<long long>(scratch.ws.grow_events()));
+  return result;
+}
+
+Algorithm1Result Algorithm1Context::complete_from_cut_impl(
+    std::span<const std::uint8_t> g_side, StartScratch& scratch) const {
   FHP_REQUIRE(!degenerate_, "degenerate instance: use run_degenerate()");
   FHP_REQUIRE(g_side.size() == g_.num_vertices(),
               "one side per G-vertex expected");
@@ -343,13 +397,15 @@ Algorithm1Result Algorithm1Context::complete_from_cut(
   result.filtered_edges = filtered_edge_count();
   result.sides.assign(h.num_vertices(), kSide0);
 
-  const BoundaryStructure boundary = extract_boundary(g_, std::move(g_side));
+  extract_boundary(g_, g_side, scratch.ws, scratch.boundary);
+  const BoundaryStructure& boundary = scratch.boundary;
   result.boundary_size = boundary.size();
   FHP_COUNTER_ADD("alg1/boundary_nodes",
                   static_cast<long long>(boundary.size()));
   FHP_GAUGE_SET("alg1/boundary_size", boundary.size());
 
-  std::vector<std::uint8_t> forced(h.num_vertices(), kFree);
+  std::vector<std::uint8_t>& forced = scratch.forced;
+  forced.assign(h.num_vertices(), kFree);
   {
     FHP_TRACE_SCOPE("assemble");
     for (VertexId v = 0; v < h.num_vertices(); ++v) {
@@ -369,10 +425,10 @@ Algorithm1Result Algorithm1Context::complete_from_cut(
   }
 
   // --- Step 4: complete the boundary partition.
-  CompletionResult completion;
+  CompletionResult& completion = scratch.completion;
   switch (options_.completion) {
     case CompletionStrategy::kGreedy:
-      completion = complete_cut_greedy(boundary.boundary_graph);
+      complete_cut_greedy(boundary.boundary_graph, scratch.ws, completion);
       break;
     case CompletionStrategy::kExact:
       completion = complete_cut_exact(boundary.boundary_graph,
@@ -388,16 +444,17 @@ Algorithm1Result Algorithm1Context::complete_from_cut(
       // Weight a winner would pull over: its not-yet-forced pins. Pins
       // shared by several boundary nets are counted once per net — a
       // deliberate approximation of the engineer's rule (see header).
-      std::vector<Weight> node_weight(boundary.size(), 0);
+      std::vector<Weight>& node_weight = scratch.node_weight;
+      node_weight.assign(boundary.size(), 0);
       for (VertexId b = 0; b < boundary.size(); ++b) {
         const EdgeId e = boundary.boundary_nodes[b];
         for (VertexId v : filtered_.pins(e)) {
           if (forced[v] == kPending) node_weight[b] += h.vertex_weight(v);
         }
       }
-      completion = complete_cut_weighted(
-          boundary.boundary_graph, boundary.boundary_side, node_weight,
-          initial[0], initial[1]);
+      complete_cut_weighted(boundary.boundary_graph, boundary.boundary_side,
+                            node_weight, initial[0], initial[1], scratch.ws,
+                            completion);
       break;
     }
   }
@@ -412,7 +469,8 @@ Algorithm1Result Algorithm1Context::complete_from_cut(
   std::vector<std::uint8_t>& sides = result.sides;
   {
     FHP_TRACE_SCOPE("assemble");
-    std::vector<VertexId> unforced;
+    std::vector<VertexId>& unforced = scratch.unforced;
+    unforced.clear();
     for (VertexId v = 0; v < h.num_vertices(); ++v) {
       if (forced[v] == kSide0 || forced[v] == kSide1) {
         sides[v] = forced[v];
@@ -447,13 +505,14 @@ Algorithm1Result Algorithm1Context::complete_from_cut(
       }
     }
     {
-      std::vector<std::uint8_t> is_unforced(h.num_vertices(), 0);
+      std::vector<std::uint8_t>& is_unforced = scratch.is_unforced;
+      is_unforced.assign(h.num_vertices(), 0);
       for (VertexId u : unforced) is_unforced[u] = 1;
       Weight weights[2] = {0, 0};
       for (VertexId v = 0; v < h.num_vertices(); ++v) {
         if (!is_unforced[v]) weights[sides[v]] += h.vertex_weight(v);
       }
-      balance_assign(h, unforced, sides, weights);
+      balance_assign(h, unforced, sides, weights, scratch.ws.order);
     }
     ensure_proper(h, sides);
   }
@@ -494,16 +553,103 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
   Algorithm1Result best;
   bool have_best = false;
   ThreadPool* pool = context.pool();
-  if (pool != nullptr && pool->thread_count() > 1 && starts.size() > 1) {
+  const bool parallel =
+      pool != nullptr && pool->thread_count() > 1 && starts.size() > 1;
+
+  // One scratch bundle per execution lane (worker lanes 1..N-1 plus the
+  // region caller as lane 0): the steady-state start loop then reuses warm
+  // buffers instead of allocating per start. Workspace is intentionally
+  // non-movable, hence the indirection.
+  const std::size_t lanes =
+      static_cast<std::size_t>(pool != nullptr ? pool->thread_count() : 1);
+  std::vector<std::unique_ptr<Algorithm1Context::StartScratch>> scratch;
+  scratch.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    scratch.push_back(std::make_unique<Algorithm1Context::StartScratch>());
+  }
+  auto lane_scratch = [&]() -> Algorithm1Context::StartScratch& {
+    return *scratch[static_cast<std::size_t>(ThreadPool::current_lane())];
+  };
+
+  if (options.memoize_starts && n >= 2) {
+    // Memoized multi-start: distinct random starts frequently converge to
+    // the same pseudo-diameter pair after the BFS sweeps, and everything
+    // downstream of the pair is a pure function of it. Four phases keep
+    // the run bit-identical to the unmemoized loop at any lane count:
+    //   1. find every start's endpoint pair (parallel);
+    //   2. dedup pairs by ORDERED (s, t) key, serially — the bidirectional
+    //      cut's tie-breaking is orientation-sensitive, so (s, t) and
+    //      (t, s) stay distinct keys;
+    //   3. complete each unique pair once (parallel);
+    //   4. reduce in start order, hits referencing their owner's result —
+    //      with the strict better() this elects exactly the candidate the
+    //      unmemoized loop would.
+    std::vector<DiameterPair> pairs(starts.size());
+    auto find_range = [&](std::size_t begin, std::size_t end) {
+      Algorithm1Context::StartScratch& s = lane_scratch();
+      for (std::size_t i = begin; i < end; ++i) {
+        FHP_COUNTER_ADD("alg1/starts_examined", 1);
+        pairs[i] = context.find_pair(starts[i], s.ws);
+      }
+    };
+    if (parallel) {
+      FHP_COUNTER_ADD("alg1/parallel_start_batches", 1);
+      pool->parallel_for(starts.size(), 1, find_range);
+    } else {
+      find_range(0, starts.size());
+    }
+
+    std::vector<std::size_t> owner(starts.size());
+    std::unordered_map<std::uint64_t, std::size_t> first_of;
+    first_of.reserve(starts.size());
+    long long hits = 0;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(pairs[i].s) << 32) |
+          static_cast<std::uint64_t>(pairs[i].t);
+      const auto [it, inserted] = first_of.try_emplace(key, i);
+      owner[i] = it->second;
+      if (!inserted) ++hits;
+    }
+    FHP_COUNTER_ADD("algorithm1/starts_memo_hits", hits);
+    FHP_COUNTER_ADD("algorithm1/starts_memo_misses",
+                    static_cast<long long>(starts.size()) - hits);
+
+    std::vector<std::size_t> owners;
+    owners.reserve(first_of.size());
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      if (owner[i] == i) owners.push_back(i);
+    }
+    std::vector<Algorithm1Result> completed(starts.size());
+    auto complete_range = [&](std::size_t begin, std::size_t end) {
+      Algorithm1Context::StartScratch& s = lane_scratch();
+      for (std::size_t i = begin; i < end; ++i) {
+        completed[owners[i]] = context.run_from_pair(pairs[owners[i]], s);
+      }
+    };
+    if (parallel && owners.size() > 1) {
+      pool->parallel_for(owners.size(), 1, complete_range);
+    } else {
+      complete_range(0, owners.size());
+    }
+
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      const Algorithm1Result& candidate = completed[owner[i]];
+      if (!have_best || better(candidate, best, options.objective)) {
+        best = candidate;
+        have_best = true;
+      }
+    }
+  } else if (parallel) {
     // Each start is deterministic given its G-vertex, so the only way
     // thread count could leak into the answer is reduction order — and the
     // reduction below walks candidates in start order, exactly like the
     // serial loop, so ties resolve identically at any lane count.
     FHP_COUNTER_ADD("alg1/parallel_start_batches", 1);
     std::vector<Algorithm1Result> candidates =
-        pool->parallel_map<Algorithm1Result>(
-            starts.size(),
-            [&](std::size_t i) { return context.run_single(starts[i]); });
+        pool->parallel_map<Algorithm1Result>(starts.size(), [&](std::size_t i) {
+          return context.run_single(starts[i], lane_scratch());
+        });
     for (Algorithm1Result& candidate : candidates) {
       if (!have_best || better(candidate, best, options.objective)) {
         best = std::move(candidate);
@@ -512,7 +658,7 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
     }
   } else {
     for (VertexId start : starts) {
-      Algorithm1Result candidate = context.run_single(start);
+      Algorithm1Result candidate = context.run_single(start, *scratch[0]);
       if (!have_best || better(candidate, best, options.objective)) {
         best = std::move(candidate);
         have_best = true;
@@ -520,6 +666,18 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
     }
   }
   FHP_ASSERT(have_best, "at least one start must run");
+
+  // Workspace accounting for the whole multi-start run: the per-lane
+  // steady state grows each buffer once, so this total stays a small
+  // multiple of the lane count however many starts executed.
+  std::size_t ws_grows = 0;
+  std::size_t ws_bytes = 0;
+  for (const auto& s : scratch) {
+    ws_grows += s->ws.grow_events();
+    ws_bytes += s->ws.allocated_bytes();
+  }
+  FHP_COUNTER_ADD("workspace/buffer_grows", static_cast<long long>(ws_grows));
+  FHP_GAUGE_SET("alg1/scratch_bytes", static_cast<double>(ws_bytes));
 
   // Optional extra candidate: when some modules sit on no (surviving)
   // net, the cut "all netted modules | floating modules" loses no

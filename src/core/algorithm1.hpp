@@ -20,15 +20,19 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "core/boundary.hpp"
 #include "core/complete_cut.hpp"
+#include "graph/bfs.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "obs/report.hpp"
 #include "partition/metrics.hpp"
 #include "partition/partition.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/workspace.hpp"
 
 namespace fhp {
 
@@ -80,6 +84,15 @@ struct Algorithm1Options {
   /// Algorithm I never inspects it); turn on when hunting the absolute
   /// minimum proper cut.
   bool consider_floating_split = false;
+  /// Memoize completed starts by their pseudo-diameter endpoint pair:
+  /// distinct random starts frequently converge to the same (s, t) after
+  /// the BFS sweeps, and everything downstream of the pair is a pure
+  /// function of it, so repeat pairs reuse the completed result instead of
+  /// recomputing it. Bit-identical to the unmemoized run at any thread
+  /// count (hits are counted deterministically; see docs/performance.md).
+  /// Off = recompute every start (the pre-memoization behavior, kept for
+  /// differential benching/testing).
+  bool memoize_starts = true;
   /// RNG seed; every run with the same seed and input is identical.
   std::uint64_t seed = 1;
   /// Execution lanes for the multi-start loop and the intersection-graph
@@ -137,9 +150,44 @@ class Algorithm1Context {
   /// True iff the filtered intersection graph is disconnected or empty.
   [[nodiscard]] bool is_degenerate() const noexcept { return degenerate_; }
 
+  /// Reusable per-start (per-lane) scratch: the Workspace substrate plus
+  /// the structures the pipeline refills every start. One StartScratch per
+  /// execution lane makes the steady-state hot loop allocation-free;
+  /// contents never influence results (docs/performance.md).
+  struct StartScratch {
+    Workspace ws;
+    BidirectionalCut cut;
+    BoundaryStructure boundary;
+    CompletionResult completion;
+    std::vector<std::uint32_t> levels;      ///< level-sweep BFS distances
+    std::vector<std::uint8_t> g_side;       ///< candidate G-cut sides
+    std::vector<std::uint8_t> forced;       ///< per-module forced sides
+    std::vector<VertexId> unforced;         ///< balance-assignable modules
+    std::vector<std::uint8_t> is_unforced;  ///< membership bytes for above
+    std::vector<Weight> node_weight;        ///< weighted-completion pulls
+  };
+
   /// Runs one start from G-vertex \p start; returns the completed result.
   /// Precondition: !is_degenerate() and start < intersection().num_vertices().
   [[nodiscard]] Algorithm1Result run_single(VertexId start) const;
+
+  /// Workspace-backed run_single: bit-identical result, scratch reused
+  /// from \p scratch (the caller keeps one per lane across starts).
+  [[nodiscard]] Algorithm1Result run_single(VertexId start,
+                                            StartScratch& scratch) const;
+
+  /// Steps 1-2 only: the pseudo-diameter endpoint pair of \p start's
+  /// random longest BFS path. Everything downstream of the pair is a pure
+  /// function of it — the memoization key (ordered: the bidirectional
+  /// cut's tie-breaking is orientation-sensitive, so (s, t) and (t, s) are
+  /// distinct keys). Precondition: !is_degenerate() and
+  /// intersection().num_vertices() >= 2.
+  [[nodiscard]] DiameterPair find_pair(VertexId start, Workspace& ws) const;
+
+  /// Steps 3-7 for an endpoint pair produced by find_pair(): initial cut,
+  /// boundary, completion, assembly, scoring.
+  [[nodiscard]] Algorithm1Result run_from_pair(const DiameterPair& pair,
+                                               StartScratch& scratch) const;
 
   /// Handles the degenerate cases (no usable nets, or disconnected G):
   /// packs connected blocks onto two sides by weight.
@@ -173,6 +221,11 @@ class Algorithm1Context {
   }
 
  private:
+  /// Steps 3-5 body shared by complete_from_cut() and run_from_pair():
+  /// boundary extraction, completion, and assembly on \p scratch.
+  [[nodiscard]] Algorithm1Result complete_from_cut_impl(
+      std::span<const std::uint8_t> g_side, StartScratch& scratch) const;
+
   const Hypergraph* h_;
   Algorithm1Options options_;
   std::unique_ptr<ThreadPool> pool_;

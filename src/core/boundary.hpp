@@ -10,10 +10,12 @@
 /// tractable.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "util/ids.hpp"
+#include "util/workspace.hpp"
 
 namespace fhp {
 
@@ -45,5 +47,14 @@ struct BoundaryStructure {
 /// G-vertex) on intersection graph \p g.
 [[nodiscard]] BoundaryStructure extract_boundary(
     const Graph& g, std::vector<std::uint8_t> g_side);
+
+/// Workspace-backed variant: refills \p out in place (its vectors keep
+/// their capacity across calls, so a lane that reuses one BoundaryStructure
+/// per start extracts boundaries allocation-free once warm) and stages the
+/// boundary-graph edge list in `ws.pairs`. \p g_side is copied into
+/// out.g_side. The resulting structure — including the boundary graph's
+/// CSR — is bit-identical to the allocating overload's.
+void extract_boundary(const Graph& g, std::span<const std::uint8_t> g_side,
+                      Workspace& ws, BoundaryStructure& out);
 
 }  // namespace fhp

@@ -13,11 +13,20 @@ namespace {
 
 /// Bucketed min-degree queue with lazy entries: vertices are (re)pushed
 /// whenever their degree drops; stale entries are skipped at pop time.
-/// Gives the O(V + E) overall bound for the greedy sweeps.
+/// Gives the O(V + E) overall bound for the greedy sweeps. Storage is
+/// borrowed from the caller (a Workspace lane or per-call locals), so a
+/// reused lane runs the queue allocation-free once its buffers are warm.
 class MinDegreeQueue {
  public:
-  MinDegreeQueue(const Graph& g, std::uint32_t max_degree)
-      : degree_(g.num_vertices()), buckets_(max_degree + 1) {
+  MinDegreeQueue(const Graph& g, std::uint32_t max_degree,
+                 std::vector<std::uint32_t>& degree_storage,
+                 std::vector<std::vector<VertexId>>& bucket_storage)
+      : degree_(degree_storage),
+        buckets_(bucket_storage),
+        bucket_count_(static_cast<std::size_t>(max_degree) + 1) {
+    degree_.assign(g.num_vertices(), 0);
+    if (buckets_.size() < bucket_count_) buckets_.resize(bucket_count_);
+    for (auto& bucket : buckets_) bucket.clear();
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       degree_[v] = g.degree(v);
       buckets_[degree_[v]].push_back(v);
@@ -42,7 +51,7 @@ class MinDegreeQueue {
   template <typename Eligible>
   VertexId pop_min(const std::vector<std::uint8_t>& alive,
                    Eligible&& eligible) {
-    for (std::size_t d = min_degree_; d < buckets_.size(); ++d) {
+    for (std::size_t d = min_degree_; d < bucket_count_; ++d) {
       auto& bucket = buckets_[d];
       std::size_t i = 0;
       while (i < bucket.size()) {
@@ -72,8 +81,9 @@ class MinDegreeQueue {
   void reset_floor() { min_degree_ = 0; }
 
  private:
-  std::vector<std::uint32_t> degree_;
-  std::vector<std::vector<VertexId>> buckets_;
+  std::vector<std::uint32_t>& degree_;
+  std::vector<std::vector<VertexId>>& buckets_;
+  std::size_t bucket_count_;
   std::size_t min_degree_ = 0;
 };
 
@@ -96,35 +106,53 @@ void settle_winner(const Graph& bg, VertexId v, std::vector<std::uint8_t>& alive
 
 }  // namespace
 
-CompletionResult complete_cut_greedy(const Graph& bg) {
+void complete_cut_greedy(const Graph& bg, Workspace& ws,
+                         CompletionResult& out) {
   FHP_TRACE_SCOPE("complete_cut");
   FHP_COUNTER_ADD("complete_cut/greedy_runs", 1);
-  CompletionResult result;
-  result.winner.assign(bg.num_vertices(), 0);
-  std::vector<std::uint8_t> alive(bg.num_vertices(), 1);
-  MinDegreeQueue queue(bg, bg.max_degree());
+  out.winner_count = 0;
+  out.loser_count = 0;
+  ws.ensure_capacity(out.winner, bg.num_vertices());
+  out.winner.assign(bg.num_vertices(), 0);
+  ws.ensure_capacity(ws.flags, bg.num_vertices());
+  ws.flags.assign(bg.num_vertices(), 1);
+  std::vector<std::uint8_t>& alive = ws.flags;
+  ws.ensure_capacity(ws.degree, bg.num_vertices());
+  MinDegreeQueue queue(bg, bg.max_degree(), ws.degree, ws.buckets);
   for (;;) {
     const VertexId v = queue.pop_min(alive, [](VertexId) { return true; });
     if (v == kInvalidVertex) break;
-    settle_winner(bg, v, alive, queue, result);
+    settle_winner(bg, v, alive, queue, out);
   }
+}
+
+CompletionResult complete_cut_greedy(const Graph& bg) {
+  Workspace ws;
+  CompletionResult result;
+  complete_cut_greedy(bg, ws, result);
+  FHP_COUNTER_ADD("workspace/buffer_grows",
+                  static_cast<long long>(ws.grow_events()));
   return result;
 }
 
-CompletionResult complete_cut_weighted(const Graph& bg,
-                                       std::span<const std::uint8_t> side,
-                                       std::span<const Weight> node_weight,
-                                       Weight initial_weight0,
-                                       Weight initial_weight1) {
+void complete_cut_weighted(const Graph& bg, std::span<const std::uint8_t> side,
+                           std::span<const Weight> node_weight,
+                           Weight initial_weight0, Weight initial_weight1,
+                           Workspace& ws, CompletionResult& out) {
   FHP_TRACE_SCOPE("complete_cut");
   FHP_COUNTER_ADD("complete_cut/weighted_runs", 1);
   FHP_REQUIRE(side.size() == bg.num_vertices(), "one side label per vertex");
   FHP_REQUIRE(node_weight.size() == bg.num_vertices(),
               "one weight per vertex");
-  CompletionResult result;
-  result.winner.assign(bg.num_vertices(), 0);
-  std::vector<std::uint8_t> alive(bg.num_vertices(), 1);
-  MinDegreeQueue queue(bg, bg.max_degree());
+  out.winner_count = 0;
+  out.loser_count = 0;
+  ws.ensure_capacity(out.winner, bg.num_vertices());
+  out.winner.assign(bg.num_vertices(), 0);
+  ws.ensure_capacity(ws.flags, bg.num_vertices());
+  ws.flags.assign(bg.num_vertices(), 1);
+  std::vector<std::uint8_t>& alive = ws.flags;
+  ws.ensure_capacity(ws.degree, bg.num_vertices());
+  MinDegreeQueue queue(bg, bg.max_degree(), ws.degree, ws.buckets);
   Weight weights[2] = {initial_weight0, initial_weight1};
 
   for (;;) {
@@ -138,9 +166,22 @@ CompletionResult complete_cut_weighted(const Graph& bg,
     }
     if (v == kInvalidVertex) break;
     weights[side[v]] += node_weight[v];
-    settle_winner(bg, v, alive, queue, result);
+    settle_winner(bg, v, alive, queue, out);
     queue.reset_floor();  // eligibility may flip sides next round
   }
+}
+
+CompletionResult complete_cut_weighted(const Graph& bg,
+                                       std::span<const std::uint8_t> side,
+                                       std::span<const Weight> node_weight,
+                                       Weight initial_weight0,
+                                       Weight initial_weight1) {
+  Workspace ws;
+  CompletionResult result;
+  complete_cut_weighted(bg, side, node_weight, initial_weight0,
+                        initial_weight1, ws, result);
+  FHP_COUNTER_ADD("workspace/buffer_grows",
+                  static_cast<long long>(ws.grow_events()));
   return result;
 }
 

@@ -25,6 +25,7 @@
 
 #include "graph/graph.hpp"
 #include "util/ids.hpp"
+#include "util/workspace.hpp"
 
 namespace fhp {
 
@@ -46,6 +47,14 @@ struct CompletionResult {
 /// break toward the lowest vertex id (deterministic).
 [[nodiscard]] CompletionResult complete_cut_greedy(const Graph& bg);
 
+/// Workspace-backed Complete-Cut greedy: the bucketed min-degree queue
+/// borrows `ws.degree` / `ws.buckets` and the liveness array borrows
+/// `ws.flags`, so a warmed-up lane completes cuts allocation-free. \p out
+/// is refilled in place (winner keeps its capacity). Results are
+/// bit-identical to the allocating overload.
+void complete_cut_greedy(const Graph& bg, Workspace& ws,
+                         CompletionResult& out);
+
 /// Weighted variant: \p side is the proper 2-coloring of \p bg,
 /// \p node_weight[v] is the module weight a winner v would pull to its side
 /// (the pins not already forced by the partial bipartition), and
@@ -56,6 +65,13 @@ struct CompletionResult {
     const Graph& bg, std::span<const std::uint8_t> side,
     std::span<const Weight> node_weight, Weight initial_weight0,
     Weight initial_weight1);
+
+/// Workspace-backed engineer's rule; see complete_cut_greedy(ws) for the
+/// buffer contract.
+void complete_cut_weighted(const Graph& bg, std::span<const std::uint8_t> side,
+                           std::span<const Weight> node_weight,
+                           Weight initial_weight0, Weight initial_weight1,
+                           Workspace& ws, CompletionResult& out);
 
 /// Optimal completion: winners = maximum independent set of the bipartite
 /// \p bg (König), losers = minimum vertex cover. \p side must be a proper

@@ -27,13 +27,26 @@ struct IntersectionOptions {
   ThreadPool* pool = nullptr;
 };
 
-/// Builds the intersection graph of \p h. Cost is O(sum over modules of
-/// degree^2) plus a sort — for bounded module degree (the regime the paper
-/// analyses and the reason for its large-net filter) this is O(pins).
+/// Builds the intersection graph of \p h with the two-pass counting
+/// construction: per-net degree counting (64-bit dedup stamps, one marker
+/// array per lane), a prefix sum into CSR offsets, then a fill pass with a
+/// per-row sort only. Cost is O(sum over modules of degree^2) — for
+/// bounded module degree (the regime the paper analyses and the reason for
+/// its large-net filter) this is O(pins) — with no candidate-pair
+/// materialization and no global sort. The CSR is bit-identical to
+/// intersection_graph_reference() at any lane count (test-enforced).
 [[nodiscard]] Graph intersection_graph(const Hypergraph& h,
                                        const IntersectionOptions& options);
 
 /// Serial build with no net-size filter (historical entry point).
 [[nodiscard]] Graph intersection_graph(const Hypergraph& h);
+
+/// Reference builder (the pre-optimization pipeline): emit every candidate
+/// pair per module, shard-locally dedup, globally sort + unique, then
+/// assemble the CSR. Kept as the differential-testing oracle for the
+/// counting build and as the baseline leg of bench_hotpath; its output is
+/// bit-identical to intersection_graph() by construction and by test.
+[[nodiscard]] Graph intersection_graph_reference(
+    const Hypergraph& h, const IntersectionOptions& options = {});
 
 }  // namespace fhp

@@ -1,7 +1,5 @@
 #include "graph/bfs.hpp"
 
-#include <deque>
-
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -40,21 +38,62 @@ BfsResult bfs(const Graph& g, VertexId source) {
   return result;
 }
 
-DiameterPair longest_path_from(const Graph& g, VertexId start, int sweeps) {
+BfsSummary bfs_scan(const Graph& g, VertexId source, Workspace& ws) {
+  FHP_COUNTER_ADD("bfs/calls", 1);
+  FHP_REQUIRE(source < g.num_vertices(), "BFS source out of range");
+  BfsSummary result;
+  ws.distance.reset(g.num_vertices(), kUnreachable);
+  ws.distance.set(source, 0);
+  result.farthest = source;
+  result.depth = 0;
+  result.reached = 1;
+
+  ws.reset_buffer(ws.queue, g.num_vertices());
+  ws.queue.push_back(source);
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+    const VertexId u = ws.queue[head];
+    const std::uint32_t du = ws.distance.get(u);
+    for (VertexId w : g.neighbors(u)) {
+      if (ws.distance.is_set(w)) continue;
+      ws.distance.set(w, du + 1);
+      ++result.reached;
+      if (du + 1 > result.depth) {
+        result.depth = du + 1;
+        result.farthest = w;
+      }
+      ws.queue.push_back(w);
+    }
+  }
+  FHP_COUNTER_ADD("bfs/vertices_reached",
+                  static_cast<long long>(result.reached));
+  FHP_COUNTER_ADD("bfs/levels_visited", static_cast<long long>(result.depth));
+  return result;
+}
+
+DiameterPair longest_path_from(const Graph& g, VertexId start, int sweeps,
+                               Workspace& ws) {
   FHP_TRACE_SCOPE("diameter");
   FHP_REQUIRE(sweeps >= 1, "need at least one BFS sweep");
   DiameterPair pair;
-  BfsResult r = bfs(g, start);
+  BfsSummary r = bfs_scan(g, start, ws);
   pair.s = start;
   pair.t = r.farthest;
   pair.distance = r.depth;
   for (int sweep = 1; sweep < sweeps; ++sweep) {
-    r = bfs(g, pair.t);
+    r = bfs_scan(g, pair.t, ws);
     if (r.depth <= pair.distance && sweep > 1) break;  // converged
     pair.s = pair.t;
     pair.t = r.farthest;
     pair.distance = r.depth;
   }
+  return pair;
+}
+
+DiameterPair longest_path_from(const Graph& g, VertexId start, int sweeps) {
+  Workspace ws;
+  const DiameterPair pair = longest_path_from(g, start, sweeps, ws);
+  FHP_COUNTER_ADD("workspace/buffer_grows",
+                  static_cast<long long>(ws.grow_events()));
   return pair;
 }
 
@@ -64,51 +103,63 @@ DiameterPair random_longest_path(const Graph& g, Rng& rng, int sweeps) {
   return longest_path_from(g, start, sweeps);
 }
 
-BidirectionalCut bidirectional_bfs_cut(const Graph& g, VertexId s, VertexId t) {
+void bidirectional_bfs_cut(const Graph& g, VertexId s, VertexId t,
+                           Workspace& ws, BidirectionalCut& out) {
   FHP_TRACE_SCOPE("initial_cut");
   FHP_COUNTER_ADD("bfs/bidirectional_cuts", 1);
   FHP_REQUIRE(s < g.num_vertices() && t < g.num_vertices(),
               "seed out of range");
   FHP_REQUIRE(s != t, "seeds must be distinct");
-  BidirectionalCut cut;
-  cut.side.assign(g.num_vertices(), std::uint8_t{2});
+  ws.ensure_capacity(out.side, g.num_vertices());
+  out.side.assign(g.num_vertices(), std::uint8_t{2});
 
   // Two frontier queues; expand one full level of the smaller region at a
   // time so that regions stay close in size even when the seeds sit in
-  // unbalanced positions of the graph.
-  std::vector<VertexId> frontier[2];
-  frontier[0].push_back(s);
-  frontier[1].push_back(t);
-  cut.side[s] = 0;
-  cut.side[t] = 1;
-  cut.reached_s = 1;
-  cut.reached_t = 1;
+  // unbalanced positions of the graph. The frontiers and the next-level
+  // staging buffer live in the workspace: clear() between levels keeps
+  // their capacity, so a warmed-up lane runs the loop allocation-free.
+  ws.reset_buffer(ws.frontier[0], 1);
+  ws.reset_buffer(ws.frontier[1], 1);
+  ws.frontier[0].push_back(s);
+  ws.frontier[1].push_back(t);
+  out.side[s] = 0;
+  out.side[t] = 1;
+  out.reached_s = 1;
+  out.reached_t = 1;
 
-  std::vector<VertexId> next;
-  while (!frontier[0].empty() || !frontier[1].empty()) {
+  ws.next.clear();
+  while (!ws.frontier[0].empty() || !ws.frontier[1].empty()) {
     int which;
-    if (frontier[0].empty()) {
+    if (ws.frontier[0].empty()) {
       which = 1;
-    } else if (frontier[1].empty()) {
+    } else if (ws.frontier[1].empty()) {
       which = 0;
     } else {
-      which = (cut.reached_s <= cut.reached_t) ? 0 : 1;
+      which = (out.reached_s <= out.reached_t) ? 0 : 1;
     }
-    next.clear();
-    for (VertexId u : frontier[which]) {
+    ws.next.clear();
+    for (VertexId u : ws.frontier[which]) {
       for (VertexId w : g.neighbors(u)) {
-        if (cut.side[w] != 2) continue;
-        cut.side[w] = static_cast<std::uint8_t>(which);
+        if (out.side[w] != 2) continue;
+        out.side[w] = static_cast<std::uint8_t>(which);
         if (which == 0) {
-          ++cut.reached_s;
+          ++out.reached_s;
         } else {
-          ++cut.reached_t;
+          ++out.reached_t;
         }
-        next.push_back(w);
+        ws.next.push_back(w);
       }
     }
-    frontier[which].swap(next);
+    ws.frontier[which].swap(ws.next);
   }
+}
+
+BidirectionalCut bidirectional_bfs_cut(const Graph& g, VertexId s, VertexId t) {
+  Workspace ws;
+  BidirectionalCut cut;
+  bidirectional_bfs_cut(g, s, t, ws, cut);
+  FHP_COUNTER_ADD("workspace/buffer_grows",
+                  static_cast<long long>(ws.grow_events()));
   return cut;
 }
 

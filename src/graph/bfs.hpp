@@ -12,6 +12,7 @@
 #include "graph/graph.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
+#include "util/workspace.hpp"
 
 namespace fhp {
 
@@ -29,6 +30,21 @@ struct BfsResult {
 /// Full BFS from \p source. Among vertices at maximum distance, `farthest`
 /// is the one discovered first (deterministic).
 [[nodiscard]] BfsResult bfs(const Graph& g, VertexId source);
+
+/// Summary of a BFS whose distance labels live in a Workspace rather than
+/// in a per-call vector.
+struct BfsSummary {
+  VertexId farthest = kInvalidVertex;  ///< a vertex at maximum distance
+  std::uint32_t depth = 0;             ///< eccentricity within the component
+  VertexId reached = 0;                ///< number of vertices reached
+};
+
+/// Allocation-free BFS from \p source: identical traversal to bfs(), but
+/// distance labels are written into `ws.distance` (epoch-cleared, so the
+/// call is O(V_reached + E_reached), not O(n) setup) and the queue reuses
+/// `ws.queue`. On return `ws.distance.get(v)` is d(source, v), or
+/// kUnreachable for unreached v, valid until the next use of ws.distance.
+BfsSummary bfs_scan(const Graph& g, VertexId source, Workspace& ws);
 
 /// A pseudo-diameter endpoint pair obtained by BFS sweeps.
 struct DiameterPair {
@@ -50,6 +66,11 @@ struct DiameterPair {
 [[nodiscard]] DiameterPair longest_path_from(const Graph& g, VertexId start,
                                              int sweeps = 2);
 
+/// Workspace-backed longest_path_from: same sweeps, same result, but every
+/// BFS runs through bfs_scan() on \p ws (zero allocations once warm).
+[[nodiscard]] DiameterPair longest_path_from(const Graph& g, VertexId start,
+                                             int sweeps, Workspace& ws);
+
 /// Result of growing BFS regions from two seeds simultaneously.
 struct BidirectionalCut {
   /// side[v]: 0 = reached from s first, 1 = reached from t first,
@@ -67,5 +88,13 @@ struct BidirectionalCut {
 /// expanding sets meet to define a cutline".
 [[nodiscard]] BidirectionalCut bidirectional_bfs_cut(const Graph& g, VertexId s,
                                                      VertexId t);
+
+/// Workspace-backed bidirectional cut: identical result to the allocating
+/// overload, but the two frontier queues and the next-level staging buffer
+/// are hoisted into \p ws (clear()ed between levels, capacity persists) and
+/// the side labels are written into \p out.side reusing its capacity. The
+/// only steady-state allocation is out.side's first growth per lane.
+void bidirectional_bfs_cut(const Graph& g, VertexId s, VertexId t,
+                           Workspace& ws, BidirectionalCut& out);
 
 }  // namespace fhp

@@ -61,6 +61,23 @@ Graph Graph::from_sorted_unique_edges(
   return assemble_csr(num_vertices, edges);
 }
 
+Graph Graph::from_csr(std::vector<std::size_t> offsets,
+                      std::vector<VertexId> adjacency) {
+  FHP_REQUIRE(!offsets.empty() && offsets.front() == 0 &&
+                  offsets.back() == adjacency.size(),
+              "offsets must span the adjacency array");
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+#ifndef NDEBUG
+  g.validate();
+#endif
+  return g;
+}
+
 Graph Graph::assemble_csr(
     VertexId num_vertices,
     const std::vector<std::pair<VertexId, VertexId>>& edges) {

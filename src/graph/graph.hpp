@@ -36,6 +36,16 @@ class Graph {
       VertexId num_vertices,
       const std::vector<std::pair<VertexId, VertexId>>& edges);
 
+  /// Adopts a prebuilt CSR: \p offsets has num_vertices + 1 entries with
+  /// offsets[0] == 0 and offsets.back() == adjacency.size(); each row
+  /// [offsets[v], offsets[v+1]) must be sorted ascending, free of
+  /// duplicates and self-loops, and symmetric (u in row v iff v in row u).
+  /// The linear-time intersection build produces rows in exactly this form,
+  /// skipping the edge-list materialization entirely. Preconditions are
+  /// checked in debug builds only.
+  [[nodiscard]] static Graph from_csr(std::vector<std::size_t> offsets,
+                                      std::vector<VertexId> adjacency);
+
   /// Number of vertices.
   [[nodiscard]] VertexId num_vertices() const noexcept {
     return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);

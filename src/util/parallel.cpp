@@ -5,6 +5,30 @@
 
 namespace fhp {
 
+namespace {
+
+/// Lane id of this thread. Workers stamp theirs once at spawn; the caller
+/// of a region is normalized to 0 for the region's duration so that an
+/// outer pool's worker driving an inner pool cannot collide with the inner
+/// pool's worker of the same index.
+thread_local int tl_lane = 0;
+
+/// Saves/normalizes the caller's lane id across a region (exception-safe).
+class CallerLaneScope {
+ public:
+  CallerLaneScope() noexcept : saved_(tl_lane) { tl_lane = 0; }
+  ~CallerLaneScope() { tl_lane = saved_; }
+  CallerLaneScope(const CallerLaneScope&) = delete;
+  CallerLaneScope& operator=(const CallerLaneScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace
+
+int ThreadPool::current_lane() noexcept { return tl_lane; }
+
 int resolve_threads(int requested) {
   constexpr int kMaxLanes = 512;
   if (requested >= 1) return std::min(requested, kMaxLanes);
@@ -23,7 +47,10 @@ int resolve_threads(int requested) {
 ThreadPool::ThreadPool(int threads) : lanes_(resolve_threads(threads)) {
   workers_.reserve(static_cast<std::size_t>(lanes_ - 1));
   for (int i = 1; i < lanes_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      tl_lane = i;
+      worker_loop();
+    });
   }
 }
 
@@ -83,12 +110,14 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   const std::size_t chunks = (n + grain - 1) / grain;
 
   if (lanes_ == 1 || chunks == 1) {
+    const CallerLaneScope lane_scope;
     for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
       const std::size_t begin = chunk * grain;
       fn(begin, std::min(n, begin + grain));
     }
     return;
   }
+  const CallerLaneScope lane_scope;
 
   {
     std::unique_lock<std::mutex> lock(mutex_);

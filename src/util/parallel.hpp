@@ -68,6 +68,14 @@ class ThreadPool {
   /// Total execution lanes (worker threads + the calling thread); >= 1.
   [[nodiscard]] int thread_count() const noexcept { return lanes_; }
 
+  /// Lane index of the calling thread: pool workers are 1..N-1 (stable for
+  /// the worker's lifetime), the thread driving a parallel_for is 0 while
+  /// the region runs (even if it is itself a worker of an *outer* pool),
+  /// and threads outside any region read 0. Within one region every
+  /// executing thread therefore sees a distinct value in [0, N) — the
+  /// index used to hand each lane its own Workspace (docs/performance.md).
+  [[nodiscard]] static int current_lane() noexcept;
+
   using RangeFn = std::function<void(std::size_t, std::size_t)>;
 
   /// Runs fn(begin, end) over every chunk [k*grain, min(n, (k+1)*grain))

@@ -2,11 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include "gen/circuit.hpp"
+#include "gen/grid.hpp"
+#include "gen/planted.hpp"
 #include "gen/random_hypergraph.hpp"
 #include "test_helpers.hpp"
 
 namespace fhp {
 namespace {
+
+/// Exact CSR equality: same vertex count and, row by row, the same sorted
+/// neighbor list. Stricter than isomorphism on purpose — the counting build
+/// promises the reference builder's bytes.
+void expect_same_csr(const Graph& got, const Graph& expect,
+                     const char* context) {
+  ASSERT_EQ(got.num_vertices(), expect.num_vertices()) << context;
+  ASSERT_EQ(got.num_edges(), expect.num_edges()) << context;
+  for (VertexId v = 0; v < expect.num_vertices(); ++v) {
+    const auto got_row = got.neighbors(v);
+    const auto expect_row = expect.neighbors(v);
+    ASSERT_EQ(got_row.size(), expect_row.size()) << context << " row " << v;
+    for (std::size_t i = 0; i < expect_row.size(); ++i) {
+      ASSERT_EQ(got_row[i], expect_row[i]) << context << " row " << v;
+    }
+  }
+}
 
 TEST(Intersection, PathHypergraphGivesPathGraph) {
   // Chain nets {i, i+1}: consecutive nets share a module.
@@ -92,6 +112,70 @@ TEST(Intersection, DegreeBoundedByNeighbors) {
   for (EdgeId e = 0; e < h.num_edges(); ++e) {
     EXPECT_LE(g.degree(e), h.edge_size(e) * (params.max_degree - 1));
   }
+}
+
+TEST(Intersection, CountingBuildMatchesReferenceAcrossGenerators) {
+  // Differential gate for the two-pass counting construction: on planted,
+  // grid and circuit instances, with and without the large-net threshold,
+  // serially and on a pool, the CSR must equal the reference builder's
+  // exactly.
+  std::vector<std::pair<const char*, Hypergraph>> instances;
+  {
+    PlantedParams p;
+    p.num_vertices = 80;
+    p.num_edges = 140;
+    p.planted_cut = 4;
+    instances.emplace_back("planted", planted_instance(p, 3).hypergraph);
+  }
+  instances.emplace_back("grid", grid_circuit({8, 7, 0.4, false}, 5));
+  instances.emplace_back(
+      "circuit",
+      generate_circuit(table2_params(120, 210, Technology::kStandardCell), 9));
+
+  ThreadPool pool(3);
+  for (const auto& [name, h] : instances) {
+    for (const std::uint32_t threshold : {0U, 4U, 10U}) {
+      IntersectionOptions options;
+      options.large_edge_threshold = threshold;
+      const Graph expect = intersection_graph_reference(h, options);
+      const Graph serial = intersection_graph(h, options);
+      expect_same_csr(serial, expect, name);
+      options.pool = &pool;
+      const Graph parallel = intersection_graph(h, options);
+      expect_same_csr(parallel, expect, name);
+      const Graph parallel_ref = intersection_graph_reference(h, options);
+      expect_same_csr(parallel_ref, expect, name);
+    }
+  }
+}
+
+TEST(Intersection, CountingBuildMatchesReferenceOnRandomHypergraphs) {
+  RandomHypergraphParams params;
+  params.num_vertices = 50;
+  params.num_edges = 80;
+  params.max_edge_size = 6;
+  params.max_degree = 7;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Hypergraph h = random_hypergraph(params, seed);
+    IntersectionOptions options;
+    options.large_edge_threshold = (seed % 2 == 0) ? 0U : 4U;
+    const Graph expect = intersection_graph_reference(h, options);
+    const Graph got = intersection_graph(h, options);
+    expect_same_csr(got, expect, "random");
+  }
+}
+
+TEST(Intersection, CountingBuildHandlesEmptyAndFullyFiltered) {
+  EXPECT_EQ(intersection_graph_reference(Hypergraph{}).num_vertices(), 0U);
+  // Threshold below every net size: all G-vertices isolated, zero edges.
+  const Hypergraph h =
+      Hypergraph::from_edges(6, {{0, 1, 2}, {2, 3, 4}, {3, 4, 5}});
+  IntersectionOptions options;
+  options.large_edge_threshold = 2;
+  const Graph g = intersection_graph(h, options);
+  EXPECT_EQ(g.num_vertices(), 3U);
+  EXPECT_EQ(g.num_edges(), 0U);
+  expect_same_csr(g, intersection_graph_reference(h, options), "filtered");
 }
 
 }  // namespace

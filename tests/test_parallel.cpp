@@ -273,5 +273,82 @@ TEST(Parallel, Algorithm1ThreadsViaEnvironmentMatchesSerial) {
   EXPECT_EQ(via_env.sides, serial.sides);
 }
 
+TEST(Parallel, CurrentLaneIsZeroOutsideRegions) {
+  EXPECT_EQ(ThreadPool::current_lane(), 0);
+  ThreadPool pool(3);
+  // Pool construction alone does not touch the caller's lane.
+  EXPECT_EQ(ThreadPool::current_lane(), 0);
+}
+
+TEST(Parallel, CurrentLaneDistinctAndInRangeDuringRegion) {
+  constexpr int kLanes = 4;
+  ThreadPool pool(kLanes);
+  std::mutex mutex;
+  std::set<int> seen_by_chunk[64];
+  std::atomic<int> bad{0};
+  pool.parallel_for(64, 1, [&](std::size_t begin, std::size_t) {
+    const int lane = ThreadPool::current_lane();
+    if (lane < 0 || lane >= kLanes) bad.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mutex);
+    seen_by_chunk[begin].insert(lane);
+  });
+  EXPECT_EQ(bad.load(), 0);
+  // Every chunk observed exactly one lane, and the caller is back to 0.
+  for (const auto& lanes : seen_by_chunk) EXPECT_EQ(lanes.size(), 1U);
+  EXPECT_EQ(ThreadPool::current_lane(), 0);
+}
+
+TEST(Parallel, CurrentLaneIndexesPerLaneSlotsWithoutCollision) {
+  // The workspace-ownership contract: within one region, concurrent chunks
+  // always see distinct lanes, so per-lane slots are data-race free. Each
+  // lane's slot counts its chunks; the total must cover the range, and a
+  // torn counter (two threads on one slot) would break the sum.
+  constexpr int kLanes = 4;
+  ThreadPool pool(kLanes);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::size_t> per_lane(kLanes, 0);
+    pool.parallel_for(256, 1, [&](std::size_t begin, std::size_t end) {
+      per_lane[static_cast<std::size_t>(ThreadPool::current_lane())] +=
+          end - begin;
+    });
+    std::size_t total = 0;
+    for (const std::size_t c : per_lane) total += c;
+    ASSERT_EQ(total, 256U) << "round " << round;
+  }
+}
+
+TEST(Parallel, CurrentLaneSerialPoolStaysZero) {
+  ThreadPool pool(1);
+  std::vector<int> lanes;
+  pool.parallel_for(5, 1, [&](std::size_t, std::size_t) {
+    lanes.push_back(ThreadPool::current_lane());
+  });
+  for (const int lane : lanes) EXPECT_EQ(lane, 0);
+}
+
+TEST(Parallel, Algorithm1MemoizedMatchesUnmemoizedAtAllThreadCounts) {
+  PlantedParams params;
+  params.num_vertices = 90;
+  params.num_edges = 150;
+  params.planted_cut = 5;
+  const Hypergraph h = planted_instance(params, 17).hypergraph;
+  Algorithm1Options options;
+  options.num_starts = 16;
+  options.seed = 23;
+  options.memoize_starts = false;
+  options.threads = 1;
+  const Algorithm1Result reference = algorithm1(h, options);
+  for (const int threads : {1, 2, 8}) {
+    for (const bool memoize : {false, true}) {
+      options.threads = threads;
+      options.memoize_starts = memoize;
+      const Algorithm1Result got = algorithm1(h, options);
+      EXPECT_EQ(got.sides, reference.sides)
+          << "threads=" << threads << " memoize=" << memoize;
+      EXPECT_EQ(got.metrics.cut_edges, reference.metrics.cut_edges);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fhp

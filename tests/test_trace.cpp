@@ -428,6 +428,9 @@ TEST_F(TraceTest, ParallelAlgorithm1ReportsWorkerThreads) {
   options.num_starts = 8;
   options.threads = 4;
   options.collect_trace = true;
+  // Pin the unmemoized loop: this test counts one full pipeline per start,
+  // which start memoization deliberately collapses to one per unique pair.
+  options.memoize_starts = false;
   const Algorithm1Result result = algorithm1(h, options);
   // Per-start span calls sum exactly no matter which lane ran which start.
   // (threads >= 2 is NOT asserted here: on a single hardware core the
@@ -448,11 +451,35 @@ TEST_F(TraceTest, MultiStartCountsEveryStart) {
   options.seed = 3;
   options.num_starts = 5;
   options.collect_trace = true;
+  options.memoize_starts = false;  // count one full pipeline per start
   const Algorithm1Result result = algorithm1(h, options);
   EXPECT_EQ(result.starts_run, 5);
 #if FHP_TRACING_ENABLED
   EXPECT_EQ(result.trace.counter("alg1/starts_examined"), 5);
   EXPECT_EQ(result.trace.span_calls("boundary"), 5U);
+#endif
+}
+
+TEST_F(TraceTest, MemoizedMultiStartAccountsHitsAndMisses) {
+  const Hypergraph h = cross_validation_instance();
+  Algorithm1Options options;
+  options.seed = 3;
+  options.num_starts = 5;
+  options.collect_trace = true;
+  const Algorithm1Result result = algorithm1(h, options);
+  EXPECT_EQ(result.starts_run, 5);
+#if FHP_TRACING_ENABLED
+  // Every start is still examined (its pseudo-diameter pair is found)...
+  EXPECT_EQ(result.trace.counter("alg1/starts_examined"), 5);
+  // ...and every start is either a memo hit or a completed miss; only the
+  // misses run the boundary/completion pipeline.
+  const long long hits = result.trace.counter("algorithm1/starts_memo_hits");
+  const long long misses =
+      result.trace.counter("algorithm1/starts_memo_misses");
+  EXPECT_EQ(hits + misses, 5);
+  EXPECT_GE(misses, 1);
+  EXPECT_EQ(result.trace.span_calls("boundary"),
+            static_cast<std::uint64_t>(misses));
 #endif
 }
 

@@ -171,8 +171,8 @@ BaselineResult fiduccia_mattheyses(const Hypergraph& h,
                                    const FmOptions& options) {
   FHP_TRACE_SCOPE("fm");
   FHP_COUNTER_ADD("fm/runs", 1);
-  FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.max_passes >= 1, "need at least one pass");
+  if (is_degenerate_instance(h)) return trivial_baseline_result(h);
 
   std::vector<std::uint8_t> sides;
   if (options.initial.has_value()) {

@@ -47,8 +47,8 @@ VertexId best_on_side(const Bipartition& p,
 BaselineResult kernighan_lin(const Hypergraph& h, const KlOptions& options) {
   FHP_TRACE_SCOPE("kl");
   FHP_COUNTER_ADD("kl/runs", 1);
-  FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.max_passes >= 1, "need at least one pass");
+  if (is_degenerate_instance(h)) return trivial_baseline_result(h);
 
   std::vector<std::uint8_t> sides;
   if (options.initial.has_value()) {

@@ -6,6 +6,18 @@
 
 namespace fhp {
 
+bool is_degenerate_instance(const Hypergraph& h) noexcept {
+  return h.num_vertices() < 2;
+}
+
+BaselineResult trivial_baseline_result(const Hypergraph& h) {
+  BaselineResult result;
+  result.sides.assign(h.num_vertices(), 0);
+  result.metrics = compute_metrics(Bipartition(h, result.sides));
+  result.iterations = 0;
+  return result;
+}
+
 BaselineResult random_bisection(const Hypergraph& h, std::uint64_t seed) {
   FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   Rng rng(seed);

@@ -19,6 +19,17 @@ struct BaselineResult {
   long iterations = 0;  ///< algorithm-specific effort counter
 };
 
+/// True iff \p h is too small for any proper bipartition to exist
+/// (fewer than two modules). Iterative baselines return
+/// trivial_baseline_result() for such instances instead of sampling
+/// moves from an empty vertex set.
+[[nodiscard]] bool is_degenerate_instance(const Hypergraph& h) noexcept;
+
+/// The only partition a degenerate instance admits: every module (0 or 1
+/// of them) on side 0, metrics computed honestly (never proper). Shared
+/// by the SA / KL / FM degenerate guards.
+[[nodiscard]] BaselineResult trivial_baseline_result(const Hypergraph& h);
+
 /// Uniformly random bisection: a random half of the modules (by count)
 /// goes left. Requires >= 2 modules.
 [[nodiscard]] BaselineResult random_bisection(const Hypergraph& h,

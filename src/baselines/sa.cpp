@@ -37,9 +37,9 @@ BaselineResult simulated_annealing(const Hypergraph& h,
                                    const SaOptions& options) {
   FHP_TRACE_SCOPE("sa");
   FHP_COUNTER_ADD("sa/runs", 1);
-  FHP_REQUIRE(h.num_vertices() >= 2, "need at least two modules");
   FHP_REQUIRE(options.cooling > 0.0 && options.cooling < 1.0,
               "cooling factor must be in (0, 1)");
+  if (is_degenerate_instance(h)) return trivial_baseline_result(h);
   Rng rng(options.seed);
 
   Weight tolerance = options.imbalance_tolerance;

@@ -116,7 +116,7 @@ BookshelfDesign read_bookshelf(std::istream& nodes, std::istream& nets) {
     long long degree = -1;
     std::string net_name;
     header >> degree >> net_name;
-    if (degree < 0) throw IoError("bad NetDegree in '" + line + "'");
+    if (degree <= 0) throw IoError("bad NetDegree in '" + line + "'");
     if (net_name.empty()) net_name = "n" + std::to_string(n);
 
     std::vector<VertexId> pins;

@@ -78,6 +78,8 @@ VertexId HypergraphBuilder::add_vertices(VertexId count) {
 EdgeId HypergraphBuilder::add_edge(std::span<const VertexId> pins,
                                    Weight weight) {
   FHP_REQUIRE(weight >= 0, "edge weight must be non-negative");
+  FHP_REQUIRE(!pins.empty() || allow_empty_edges_,
+              "zero-pin net rejected (see allow_empty_edges())");
   const std::size_t start = edge_pins_.size();
   for (VertexId v : pins) {
     FHP_REQUIRE(v < vertex_weights_.size(),

@@ -26,8 +26,8 @@ class Hypergraph {
 
   /// Convenience factory: unit-weight hypergraph over \p num_vertices
   /// vertices with the given pin lists. Pins must be valid vertex ids;
-  /// duplicate pins within an edge are merged. Empty edges are allowed
-  /// (they can never be cut) but typically filtered upstream.
+  /// duplicate pins within an edge are merged. Zero-pin edges are rejected
+  /// (see HypergraphBuilder::add_edge and docs/formats.md).
   [[nodiscard]] static Hypergraph from_edges(
       VertexId num_vertices, const std::vector<std::vector<VertexId>>& edges);
 
@@ -133,11 +133,20 @@ class HypergraphBuilder {
   /// Adds \p count unit-weight modules; returns the id of the first.
   VertexId add_vertices(VertexId count);
   /// Adds a net over \p pins with weight \p weight; duplicate pins are
-  /// merged. All pins must reference vertices already added. Returns the
-  /// new net's id.
+  /// merged. All pins must reference vertices already added. Zero-pin nets
+  /// are rejected (they are unrepresentable in hMETIS and silently break
+  /// write/read round-trips) unless allow_empty_edges() opted in. Returns
+  /// the new net's id.
   EdgeId add_edge(std::span<const VertexId> pins, Weight weight = 1);
   /// Initializer-list convenience overload.
   EdgeId add_edge(std::initializer_list<VertexId> pins, Weight weight = 1);
+
+  /// Opts in to zero-pin nets (for experiments that need them; the text
+  /// writers still refuse to serialize such hypergraphs). Returns *this.
+  HypergraphBuilder& allow_empty_edges(bool allow = true) noexcept {
+    allow_empty_edges_ = allow;
+    return *this;
+  }
 
   /// Overrides the weight of an existing vertex.
   void set_vertex_weight(VertexId v, Weight weight);
@@ -159,6 +168,7 @@ class HypergraphBuilder {
   std::vector<VertexId> edge_pins_;
   std::vector<Weight> vertex_weights_;
   std::vector<Weight> edge_weights_;
+  bool allow_empty_edges_ = false;
 };
 
 }  // namespace fhp

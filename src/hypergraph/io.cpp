@@ -77,6 +77,10 @@ Hypergraph read_hmetis(std::istream& in) {
   if (num_edges < 0 || num_vertices < 0) {
     throw IoError("negative counts in hMETIS header");
   }
+  if (num_vertices >= static_cast<long long>(kInvalidVertex) ||
+      num_edges >= static_cast<long long>(kInvalidVertex)) {
+    throw IoError("hMETIS header counts exceed the supported id range");
+  }
   if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) {
     throw IoError("unsupported hMETIS fmt " + std::to_string(fmt));
   }
@@ -108,6 +112,9 @@ Hypergraph read_hmetis(std::istream& in) {
       }
       pins.push_back(static_cast<VertexId>(pin - 1));
     }
+    if (pins.empty()) {
+      throw IoError("edge " + std::to_string(e + 1) + " has no pins");
+    }
     builder.add_edge(std::span<const VertexId>(pins), weight);
   }
   if (vertex_weights) {
@@ -133,6 +140,10 @@ Hypergraph read_hmetis_file(const std::string& path) {
 }
 
 void write_hmetis(std::ostream& out, const Hypergraph& h) {
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    FHP_REQUIRE(h.edge_size(e) > 0,
+                "hMETIS format cannot represent zero-pin nets");
+  }
   bool weighted = false;
   for (EdgeId e = 0; e < h.num_edges() && !weighted; ++e) {
     weighted = h.edge_weight(e) != 1;
@@ -201,6 +212,9 @@ NamedNetlist read_netlist(std::istream& in) {
       }
       pins.push_back(it->second);
     }
+    if (pins.empty()) {
+      throw IoError("signal '" + signal + "' has no pins");
+    }
     edge_ids.emplace(signal, builder.num_edges());
     netlist.edge_names.push_back(signal);
     builder.add_edge(std::span<const VertexId>(pins));
@@ -220,6 +234,10 @@ void write_netlist(std::ostream& out, const NamedNetlist& netlist) {
   FHP_REQUIRE(netlist.vertex_names.size() == h.num_vertices() &&
                   netlist.edge_names.size() == h.num_edges(),
               "names must cover every module and signal");
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    FHP_REQUIRE(h.edge_size(e) > 0,
+                "netlist format cannot represent zero-pin signals");
+  }
   for (EdgeId e = 0; e < h.num_edges(); ++e) {
     out << netlist.edge_names[e] << ':';
     for (VertexId v : h.pins(e)) out << ' ' << netlist.vertex_names[v];

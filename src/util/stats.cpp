@@ -86,10 +86,13 @@ std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
   FHP_REQUIRE(hi > lo, "histogram range must be nonempty");
   std::vector<std::size_t> counts(bins, 0);
   const double width = (hi - lo) / static_cast<double>(bins);
+  const auto last = static_cast<double>(bins - 1);
   for (double x : xs) {
-    auto idx = static_cast<std::int64_t>((x - lo) / width);
-    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(bins) - 1);
-    ++counts[static_cast<std::size_t>(idx)];
+    FHP_REQUIRE(std::isfinite(x), "histogram sample must be finite");
+    // Clamp in the floating domain: casting a non-representable double
+    // (NaN, +-inf, or a huge finite quotient) to an integer is UB.
+    const double pos = std::clamp((x - lo) / width, 0.0, last);
+    ++counts[static_cast<std::size_t>(pos)];
   }
   return counts;
 }

@@ -1,0 +1,411 @@
+#include "validate/audit.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "hypergraph/transform.hpp"
+
+namespace fhp::validate {
+
+namespace {
+
+/// Formats "<what> <index>: <detail>" without dragging <format> in.
+template <typename... Parts>
+std::string cat(Parts&&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace
+
+void AuditReport::fail(std::string predicate, std::string message) {
+  findings.push_back({std::move(predicate), std::move(message)});
+}
+
+void AuditReport::merge(AuditReport other) {
+  findings.insert(findings.end(),
+                  std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+}
+
+std::string AuditReport::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  for (const AuditFinding& f : findings) {
+    os << f.predicate << ": " << f.message << '\n';
+  }
+  return os.str();
+}
+
+AuditReport audit_hypergraph(const Hypergraph& h,
+                             const HypergraphAuditPolicy& policy) {
+  AuditReport report;
+  const VertexId n = h.num_vertices();
+  const EdgeId m = h.num_edges();
+
+  std::size_t pin_total = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto pins = h.pins(e);
+    pin_total += pins.size();
+    if (pins.empty() && !policy.allow_empty_edges) {
+      report.fail("no_empty_edges", cat("edge ", e, " has no pins"));
+    }
+    if (pins.size() == 1 && !policy.allow_single_pin_edges) {
+      report.fail("no_single_pin_edges", cat("edge ", e, " has one pin"));
+    }
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (pins[i] >= n) {
+        report.fail("pin_in_range",
+                    cat("edge ", e, " pin ", pins[i], " >= ", n, " modules"));
+        continue;
+      }
+      if (i > 0 && pins[i] <= pins[i - 1]) {
+        report.fail(pins[i] == pins[i - 1] ? "pins_distinct" : "pins_sorted",
+                    cat("edge ", e, " pins ", pins[i - 1], ", ", pins[i]));
+      }
+      const auto nets = h.nets_of(pins[i]);
+      if (!std::binary_search(nets.begin(), nets.end(), e)) {
+        report.fail("incidence_symmetric",
+                    cat("edge ", e, " not in nets_of(", pins[i], ")"));
+      }
+    }
+    if (h.edge_weight(e) < 0) {
+      report.fail("edge_weight_nonnegative",
+                  cat("edge ", e, " weight ", h.edge_weight(e)));
+    }
+  }
+  if (pin_total != h.num_pins()) {
+    report.fail("pin_count_consistent",
+                cat("edge spans cover ", pin_total, " pins, num_pins() says ",
+                    h.num_pins()));
+  }
+
+  std::size_t degree_total = 0;
+  Weight vertex_weight_total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nets = h.nets_of(v);
+    degree_total += nets.size();
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      if (nets[i] >= m) {
+        report.fail("incident_net_in_range",
+                    cat("module ", v, " net ", nets[i], " >= ", m, " nets"));
+        continue;
+      }
+      if (i > 0 && nets[i] <= nets[i - 1]) {
+        report.fail("incident_nets_sorted_distinct",
+                    cat("module ", v, " nets ", nets[i - 1], ", ", nets[i]));
+      }
+      const auto pins = h.pins(nets[i]);
+      if (!std::binary_search(pins.begin(), pins.end(), v)) {
+        report.fail("incidence_symmetric",
+                    cat("module ", v, " not in pins(", nets[i], ")"));
+      }
+    }
+    if (h.vertex_weight(v) < 0) {
+      report.fail("vertex_weight_nonnegative",
+                  cat("module ", v, " weight ", h.vertex_weight(v)));
+    }
+    vertex_weight_total += h.vertex_weight(v);
+  }
+  if (degree_total != h.num_pins()) {
+    report.fail("pin_count_consistent",
+                cat("incidence spans cover ", degree_total,
+                    " pins, num_pins() says ", h.num_pins()));
+  }
+
+  if (vertex_weight_total != h.total_vertex_weight()) {
+    report.fail("total_vertex_weight_cached",
+                cat("sum ", vertex_weight_total, " != cached ",
+                    h.total_vertex_weight()));
+  }
+  Weight edge_weight_total = 0;
+  std::uint32_t max_edge_size = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    edge_weight_total += h.edge_weight(e);
+    max_edge_size = std::max(max_edge_size, h.edge_size(e));
+  }
+  if (edge_weight_total != h.total_edge_weight()) {
+    report.fail("total_edge_weight_cached",
+                cat("sum ", edge_weight_total, " != cached ",
+                    h.total_edge_weight()));
+  }
+  if (max_edge_size != h.max_edge_size()) {
+    report.fail("max_edge_size_cached",
+                cat("scan ", max_edge_size, " != cached ", h.max_edge_size()));
+  }
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, h.degree(v));
+  }
+  if (max_degree != h.max_degree()) {
+    report.fail("max_degree_cached",
+                cat("scan ", max_degree, " != cached ", h.max_degree()));
+  }
+  return report;
+}
+
+AuditReport audit_graph(const Graph& g) {
+  AuditReport report;
+  const VertexId n = g.num_vertices();
+  std::size_t directed = 0;
+  std::uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto row = g.neighbors(v);
+    directed += row.size();
+    max_degree = std::max(max_degree, g.degree(v));
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const VertexId u = row[i];
+      if (u >= n) {
+        report.fail("csr_in_range", cat("row ", v, " neighbor ", u));
+        continue;
+      }
+      if (u == v) {
+        report.fail("csr_no_self_loops", cat("row ", v));
+      }
+      if (i > 0 && u <= row[i - 1]) {
+        report.fail("csr_rows_sorted_unique",
+                    cat("row ", v, ": ", row[i - 1], ", ", u));
+      }
+      const auto back = g.neighbors(u);
+      if (!std::binary_search(back.begin(), back.end(), v)) {
+        report.fail("csr_symmetric", cat(u, " in row ", v, " but not back"));
+      }
+    }
+  }
+  if (directed != 2 * g.num_edges()) {
+    report.fail("csr_edge_count",
+                cat("rows hold ", directed, " entries, num_edges() says ",
+                    g.num_edges()));
+  }
+  if (max_degree != g.max_degree()) {
+    report.fail("max_degree_cached",
+                cat("scan ", max_degree, " != cached ", g.max_degree()));
+  }
+  return report;
+}
+
+AuditReport audit_partition(const Hypergraph& h,
+                            std::span<const std::uint8_t> sides) {
+  AuditReport report;
+  if (sides.size() != h.num_vertices()) {
+    report.fail("one_side_per_module",
+                cat(sides.size(), " sides for ", h.num_vertices(), " modules"));
+    return report;  // indexed checks below would be meaningless
+  }
+  for (std::size_t v = 0; v < sides.size(); ++v) {
+    if (sides[v] != 0 && sides[v] != 1) {
+      report.fail("sides_binary",
+                  cat("module ", v, " side ", static_cast<int>(sides[v])));
+    }
+  }
+  return report;
+}
+
+AuditReport audit_metrics(const Hypergraph& h,
+                          std::span<const std::uint8_t> sides,
+                          const PartitionMetrics& reported) {
+  AuditReport report = audit_partition(h, sides);
+  if (!report.ok()) return report;
+
+  // From-scratch recomputation, deliberately sharing no code with the
+  // incremental Bipartition bookkeeping.
+  PartitionMetrics fresh;
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    bool on[2] = {false, false};
+    for (VertexId v : h.pins(e)) on[sides[v]] = true;
+    if (on[0] && on[1]) {
+      ++fresh.cut_edges;
+      fresh.cut_weight += h.edge_weight(e);
+    }
+  }
+  for (VertexId v = 0; v < h.num_vertices(); ++v) {
+    if (sides[v] == 0) {
+      ++fresh.left_count;
+      fresh.left_weight += h.vertex_weight(v);
+    } else {
+      ++fresh.right_count;
+      fresh.right_weight += h.vertex_weight(v);
+    }
+  }
+  fresh.cardinality_imbalance = fresh.left_count > fresh.right_count
+                                    ? fresh.left_count - fresh.right_count
+                                    : fresh.right_count - fresh.left_count;
+  fresh.weight_imbalance = fresh.left_weight > fresh.right_weight
+                               ? fresh.left_weight - fresh.right_weight
+                               : fresh.right_weight - fresh.left_weight;
+  fresh.proper = fresh.left_count > 0 && fresh.right_count > 0;
+  if (fresh.proper) {
+    fresh.quotient_cut = static_cast<double>(fresh.cut_weight) /
+                         (static_cast<double>(fresh.left_count) *
+                          static_cast<double>(fresh.right_count));
+    fresh.ratio_cut =
+        static_cast<double>(fresh.cut_weight) /
+        static_cast<double>(std::min(fresh.left_count, fresh.right_count));
+  } else {
+    fresh.quotient_cut = std::numeric_limits<double>::infinity();
+    fresh.ratio_cut = std::numeric_limits<double>::infinity();
+  }
+
+  const auto check = [&](const char* predicate, auto got, auto expect) {
+    if (got != expect) {
+      report.fail(predicate, cat("reported ", got, ", recomputed ", expect));
+    }
+  };
+  check("cut_edges_match", reported.cut_edges, fresh.cut_edges);
+  check("cut_weight_match", reported.cut_weight, fresh.cut_weight);
+  check("side_counts_match", reported.left_count, fresh.left_count);
+  check("side_counts_match", reported.right_count, fresh.right_count);
+  check("side_weights_match", reported.left_weight, fresh.left_weight);
+  check("side_weights_match", reported.right_weight, fresh.right_weight);
+  check("cardinality_imbalance_match", reported.cardinality_imbalance,
+        fresh.cardinality_imbalance);
+  check("weight_imbalance_match", reported.weight_imbalance,
+        fresh.weight_imbalance);
+  check("proper_match", reported.proper, fresh.proper);
+  check("quotient_cut_match", reported.quotient_cut, fresh.quotient_cut);
+  check("ratio_cut_match", reported.ratio_cut, fresh.ratio_cut);
+  return report;
+}
+
+AuditReport audit_boundary(const Graph& g, const BoundaryStructure& b) {
+  AuditReport report;
+  const VertexId n = g.num_vertices();
+  if (b.g_side.size() != n || b.is_boundary.size() != n ||
+      b.boundary_index.size() != n) {
+    report.fail("boundary_arrays_sized",
+                cat("g_side/is_boundary/boundary_index sized ",
+                    b.g_side.size(), "/", b.is_boundary.size(), "/",
+                    b.boundary_index.size(), " for ", n, " G-vertices"));
+    return report;
+  }
+
+  // The boundary set must separate the cut: a cut edge with a non-boundary
+  // endpoint would mean a net crossing the partition undetected.
+  for (VertexId v = 0; v < n; ++v) {
+    bool has_cross_neighbor = false;
+    for (VertexId u : g.neighbors(v)) {
+      if (b.g_side[u] != b.g_side[v]) has_cross_neighbor = true;
+    }
+    if (has_cross_neighbor && !b.is_boundary[v]) {
+      report.fail("boundary_separates_cut",
+                  cat("G-vertex ", v, " crosses the cut but is not in B"));
+    }
+    if (!has_cross_neighbor && b.is_boundary[v]) {
+      report.fail("boundary_minimal",
+                  cat("G-vertex ", v, " is in B without a cross neighbor"));
+    }
+  }
+
+  // Index arrays: boundary_nodes ascending, boundary_index its inverse.
+  for (std::size_t i = 0; i < b.boundary_nodes.size(); ++i) {
+    const VertexId v = b.boundary_nodes[i];
+    if (v >= n || !b.is_boundary[v] ||
+        b.boundary_index[v] != static_cast<VertexId>(i)) {
+      report.fail("boundary_index_consistent", cat("boundary_nodes[", i, "]"));
+    }
+    if (i > 0 && b.boundary_nodes[i - 1] >= v) {
+      report.fail("boundary_nodes_sorted", cat("position ", i));
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!b.is_boundary[v] && b.boundary_index[v] != kInvalidVertex) {
+      report.fail("boundary_index_consistent",
+                  cat("non-boundary G-vertex ", v, " has an index"));
+    }
+  }
+
+  // The boundary graph must be bipartite under boundary_side, and its
+  // sides must agree with the g_side of the underlying G-vertices.
+  const Graph& bg = b.boundary_graph;
+  if (bg.num_vertices() != b.boundary_nodes.size() ||
+      b.boundary_side.size() != b.boundary_nodes.size()) {
+    report.fail("boundary_graph_sized",
+                cat(bg.num_vertices(), " G' vertices / ",
+                    b.boundary_side.size(), " sides for ",
+                    b.boundary_nodes.size(), " boundary nodes"));
+    return report;
+  }
+  for (VertexId i = 0; i < bg.num_vertices(); ++i) {
+    if (b.boundary_side[i] != b.g_side[b.boundary_nodes[i]]) {
+      report.fail("boundary_side_consistent", cat("boundary index ", i));
+    }
+    for (VertexId j : bg.neighbors(i)) {
+      if (b.boundary_side[i] == b.boundary_side[j]) {
+        report.fail("boundary_graph_bipartite",
+                    cat("G' edge {", i, ", ", j, "} inside one side"));
+      }
+      if (!g.has_edge(b.boundary_nodes[i], b.boundary_nodes[j])) {
+        report.fail("boundary_graph_subgraph",
+                    cat("G' edge {", i, ", ", j, "} absent from G"));
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport audit_algorithm1(const Hypergraph& h,
+                             const Algorithm1Options& options,
+                             const Algorithm1Result& result) {
+  AuditReport report = audit_metrics(h, result.sides, result.metrics);
+  if (!report.ok()) return report;
+
+  if (h.num_vertices() >= 2 && !result.metrics.proper) {
+    report.fail("result_proper",
+                "Algorithm I must return a proper bipartition when one exists");
+  }
+
+  // Completion theorem (paper §2.2): on the filtered instance every cut
+  // net is a loser, so the filtered cut is dominated by the loser count.
+  // Skipped on paths that bypass completion: the disconnected shortcut,
+  // the single-net corner case, and results where one side holds a single
+  // module (a possible ensure_proper rescue, which may cut nets the
+  // completion never saw).
+  const EdgeFilterResult filtered =
+      options.large_edge_threshold > 0
+          ? filter_large_edges(h, options.large_edge_threshold)
+          : filter_trivial_edges(h);
+  if (!result.disconnected_shortcut && filtered.hypergraph.num_edges() >= 2 &&
+      std::min(result.metrics.left_count, result.metrics.right_count) > 1) {
+    EdgeId filtered_cut = 0;
+    for (EdgeId e = 0; e < filtered.hypergraph.num_edges(); ++e) {
+      bool on[2] = {false, false};
+      for (VertexId v : filtered.hypergraph.pins(e)) on[result.sides[v]] = true;
+      if (on[0] && on[1]) ++filtered_cut;
+    }
+    if (filtered_cut > result.loser_count) {
+      report.fail("losers_dominate_filtered_cut",
+                  cat("filtered cut ", filtered_cut, " > losers ",
+                      result.loser_count));
+    }
+  }
+
+  const EdgeId dropped = h.num_edges() - filtered.hypergraph.num_edges();
+  if (result.filtered_edges != dropped) {
+    report.fail("filtered_edge_count_match",
+                cat("reported ", result.filtered_edges, ", recomputed ",
+                    dropped));
+  }
+  return report;
+}
+
+AuditReport audit_graphs_identical(const Graph& actual, const Graph& expected) {
+  AuditReport report;
+  if (actual.num_vertices() != expected.num_vertices()) {
+    report.fail("graphs_identical",
+                cat(actual.num_vertices(), " vs ", expected.num_vertices(),
+                    " vertices"));
+    return report;
+  }
+  for (VertexId v = 0; v < actual.num_vertices(); ++v) {
+    const auto a = actual.neighbors(v);
+    const auto b = expected.neighbors(v);
+    if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
+      report.fail("graphs_identical", cat("row ", v, " differs"));
+    }
+  }
+  return report;
+}
+
+}  // namespace fhp::validate

@@ -1,0 +1,105 @@
+/// \file audit.hpp
+/// Invariant auditor: checkable predicates over the library's core data
+/// structures and algorithm outputs.
+///
+/// Unlike `Hypergraph::validate()` / `Graph::validate()` (which abort on
+/// the first violation — the right behavior for "this is a library bug"),
+/// the auditor *collects* findings and returns them, so harnesses — the
+/// differential fuzzer, the corpus tests, external tools — can report
+/// every violated predicate of an instance and keep going. Each finding
+/// names the predicate that failed, which doubles as documentation of the
+/// structure's contract (see docs/validation.md for the full catalogue).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "core/boundary.hpp"
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "partition/metrics.hpp"
+
+namespace fhp::validate {
+
+/// One violated predicate.
+struct AuditFinding {
+  std::string predicate;  ///< stable identifier, e.g. "pins_sorted"
+  std::string message;    ///< instance-specific detail
+};
+
+/// Outcome of an audit: empty findings == all predicates hold.
+struct AuditReport {
+  std::vector<AuditFinding> findings;
+
+  [[nodiscard]] bool ok() const noexcept { return findings.empty(); }
+  /// Appends a finding.
+  void fail(std::string predicate, std::string message);
+  /// Appends every finding of \p other.
+  void merge(AuditReport other);
+  /// Human-readable multi-line summary ("ok" when clean).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Policy knobs for hypergraph well-formedness. The defaults encode the
+/// library-wide degenerate-input policy of docs/formats.md.
+struct HypergraphAuditPolicy {
+  /// Zero-pin nets are rejected by HypergraphBuilder unless explicitly
+  /// opted into; audits of builder output therefore treat them as
+  /// violations by default.
+  bool allow_empty_edges = false;
+  /// Single-pin nets are legal (they can never be cut).
+  bool allow_single_pin_edges = true;
+};
+
+/// Well-formedness of a hypergraph: pin ranges, per-edge sortedness and
+/// distinctness (the duplicate-pin policy), incidence-array consistency
+/// (every pin appears in its module's net list and vice versa), weight
+/// non-negativity, cached aggregate consistency, and the empty-edge
+/// policy.
+[[nodiscard]] AuditReport audit_hypergraph(
+    const Hypergraph& h, const HypergraphAuditPolicy& policy = {});
+
+/// CSR integrity of a graph as Graph::from_csr requires it: rows sorted
+/// ascending, duplicate- and self-loop-free, in range, and symmetric
+/// (u in row v iff v in row u); cached max degree consistent.
+[[nodiscard]] AuditReport audit_graph(const Graph& g);
+
+/// Legality of a partition vector for \p h: one entry per module, every
+/// entry 0 or 1.
+[[nodiscard]] AuditReport audit_partition(const Hypergraph& h,
+                                          std::span<const std::uint8_t> sides);
+
+/// Cross-checks reported metrics against values recomputed from scratch
+/// (cut, side counts/weights, imbalances, properness). The recomputation
+/// shares no code with the incremental bookkeeping in Bipartition, so a
+/// double-counting bug (e.g. duplicate pins) shows up as a mismatch.
+[[nodiscard]] AuditReport audit_metrics(const Hypergraph& h,
+                                        std::span<const std::uint8_t> sides,
+                                        const PartitionMetrics& reported);
+
+/// Structural correctness of a boundary extraction over intersection
+/// graph \p g: the boundary set B separates the cut (every edge of g
+/// crossing g_side has both endpoints in B; every B member has a cross
+/// neighbor), the boundary graph is bipartite under boundary_side, and
+/// the index arrays are mutually consistent.
+[[nodiscard]] AuditReport audit_boundary(const Graph& g,
+                                         const BoundaryStructure& b);
+
+/// Postconditions of a full Algorithm I run on \p h with \p options:
+/// the output is a legal bipartition (proper whenever h has >= 2
+/// modules), its metrics match a from-scratch recomputation, and — per
+/// the paper's completion theorem — the cut on the *filtered* hypergraph
+/// is dominated by the completion's loser count (each cut net must have
+/// lost) whenever a non-degenerate start produced the result.
+[[nodiscard]] AuditReport audit_algorithm1(const Hypergraph& h,
+                                           const Algorithm1Options& options,
+                                           const Algorithm1Result& result);
+
+/// Exact CSR equality of two graphs (the differential predicate between
+/// intersection_graph() and the intersection_graph_reference() oracle).
+[[nodiscard]] AuditReport audit_graphs_identical(const Graph& actual,
+                                                 const Graph& expected);
+
+}  // namespace fhp::validate

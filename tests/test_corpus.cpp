@@ -1,0 +1,60 @@
+/// Every file in tests/corpus/ is malformed external input. The contract
+/// under test: parsers reject each one with a *typed* fhp::IoError — never
+/// a crash, an abort, or a different exception type — no matter how the
+/// text is broken. New fuzz findings get minimized and checked in here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hypergraph/io.hpp"
+
+namespace fhp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files(const std::string& extension) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(FHP_CORPUS_DIR)) {
+    if (entry.path().extension() == extension) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, HasFilesForEveryFormat) {
+  EXPECT_FALSE(corpus_files(".hgr").empty());
+  EXPECT_FALSE(corpus_files(".net").empty());
+  EXPECT_FALSE(corpus_files(".part").empty());
+}
+
+TEST(Corpus, EveryHmetisFileYieldsIoError) {
+  for (const fs::path& path : corpus_files(".hgr")) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    EXPECT_THROW(static_cast<void>(read_hmetis(in)), IoError) << path;
+  }
+}
+
+TEST(Corpus, EveryNetlistFileYieldsIoError) {
+  for (const fs::path& path : corpus_files(".net")) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    EXPECT_THROW(static_cast<void>(read_netlist(in)), IoError) << path;
+  }
+}
+
+TEST(Corpus, EveryPartitionFileYieldsIoError) {
+  for (const fs::path& path : corpus_files(".part")) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    EXPECT_THROW(static_cast<void>(read_partition(in, 2)), IoError) << path;
+  }
+}
+
+}  // namespace
+}  // namespace fhp

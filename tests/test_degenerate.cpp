@@ -1,0 +1,93 @@
+/// Degenerate-instance matrix: every iterative baseline must return a
+/// trivial proper-formed result — all modules on side 0, zero cut, zero
+/// iterations — for instances with fewer than two modules, instead of
+/// crashing or throwing. Two-module edge cases must still run normally.
+#include <gtest/gtest.h>
+
+#include "baselines/fm.hpp"
+#include "baselines/kl.hpp"
+#include "baselines/random_cut.hpp"
+#include "baselines/sa.hpp"
+
+namespace fhp {
+namespace {
+
+Hypergraph vertices_only(VertexId n) {
+  HypergraphBuilder b;
+  b.add_vertices(n);
+  return std::move(b).build();
+}
+
+using BaselineFn = BaselineResult (*)(const Hypergraph&);
+
+BaselineResult run_sa(const Hypergraph& h) {
+  SaOptions options;
+  options.max_temperatures = 3;
+  return simulated_annealing(h, options);
+}
+BaselineResult run_kl(const Hypergraph& h) { return kernighan_lin(h, {}); }
+BaselineResult run_fm(const Hypergraph& h) {
+  return fiduccia_mattheyses(h, {});
+}
+
+struct NamedBaseline {
+  const char* name;
+  BaselineFn run;
+};
+
+const NamedBaseline kBaselines[] = {
+    {"sa", &run_sa}, {"kl", &run_kl}, {"fm", &run_fm}};
+
+TEST(Degenerate, IsDegenerateInstancePredicate) {
+  EXPECT_TRUE(is_degenerate_instance(vertices_only(0)));
+  EXPECT_TRUE(is_degenerate_instance(vertices_only(1)));
+  EXPECT_FALSE(is_degenerate_instance(vertices_only(2)));
+}
+
+TEST(Degenerate, ZeroVertexInstanceYieldsTrivialResult) {
+  const Hypergraph h = vertices_only(0);
+  for (const NamedBaseline& baseline : kBaselines) {
+    const BaselineResult result = baseline.run(h);
+    EXPECT_TRUE(result.sides.empty()) << baseline.name;
+    EXPECT_EQ(result.metrics.cut_weight, 0) << baseline.name;
+    EXPECT_EQ(result.iterations, 0) << baseline.name;
+    EXPECT_FALSE(result.metrics.proper) << baseline.name;
+  }
+}
+
+TEST(Degenerate, OneVertexInstanceYieldsTrivialResult) {
+  const Hypergraph h = vertices_only(1);
+  for (const NamedBaseline& baseline : kBaselines) {
+    const BaselineResult result = baseline.run(h);
+    ASSERT_EQ(result.sides.size(), 1U) << baseline.name;
+    EXPECT_EQ(result.sides[0], 0) << baseline.name;
+    EXPECT_EQ(result.metrics.cut_weight, 0) << baseline.name;
+    EXPECT_EQ(result.metrics.left_count, 1U) << baseline.name;
+    EXPECT_EQ(result.iterations, 0) << baseline.name;
+  }
+}
+
+TEST(Degenerate, OneVertexWithSelfNetYieldsTrivialResult) {
+  HypergraphBuilder b;
+  b.add_vertex();
+  b.add_edge({0});
+  const Hypergraph h = std::move(b).build();
+  for (const NamedBaseline& baseline : kBaselines) {
+    const BaselineResult result = baseline.run(h);
+    ASSERT_EQ(result.sides.size(), 1U) << baseline.name;
+    EXPECT_EQ(result.metrics.cut_weight, 0) << baseline.name;
+  }
+}
+
+TEST(Degenerate, TwoVertexNoEdgeInstanceRunsNormally) {
+  const Hypergraph h = vertices_only(2);
+  for (const NamedBaseline& baseline : kBaselines) {
+    const BaselineResult result = baseline.run(h);
+    ASSERT_EQ(result.sides.size(), 2U) << baseline.name;
+    EXPECT_EQ(result.metrics.cut_weight, 0) << baseline.name;
+    EXPECT_TRUE(result.metrics.proper) << baseline.name;
+  }
+}
+
+}  // namespace
+}  // namespace fhp

@@ -89,9 +89,10 @@ TEST(Hypergraph, IsGraphDetection) {
   EXPECT_TRUE(Hypergraph().is_graph());  // vacuously
 }
 
-TEST(Hypergraph, EmptyAndSingletonEdgesAllowed) {
+TEST(Hypergraph, EmptyAndSingletonEdgesRepresentable) {
   HypergraphBuilder b;
   b.add_vertices(2);
+  b.allow_empty_edges();  // zero-pin nets are opt-in (docs/formats.md)
   b.add_edge(std::span<const VertexId>{});
   b.add_edge({1});
   const Hypergraph h = std::move(b).build();
@@ -147,6 +148,24 @@ TEST(Hypergraph, LargeChainValidates) {
   const Hypergraph h = test::path_hypergraph(1000);
   EXPECT_EQ(h.num_edges(), 999U);
   EXPECT_EQ(h.max_degree(), 2U);
+  h.validate();
+}
+
+TEST(HypergraphBuilder, RejectsZeroPinEdgesByDefault) {
+  HypergraphBuilder b;
+  b.add_vertices(3);
+  EXPECT_THROW((void)b.add_edge({}), PreconditionError);
+}
+
+TEST(HypergraphBuilder, AllowEmptyEdgesOptsIn) {
+  HypergraphBuilder b;
+  b.add_vertices(3);
+  b.allow_empty_edges();
+  const EdgeId e = b.add_edge({});
+  b.add_edge({0, 2});
+  const Hypergraph h = std::move(b).build();
+  EXPECT_EQ(h.num_edges(), 2U);
+  EXPECT_EQ(h.edge_size(e), 0U);
   h.validate();
 }
 

@@ -4,6 +4,12 @@
 
 #include <sstream>
 
+#include "gen/circuit.hpp"
+#include "gen/grid.hpp"
+#include "gen/planted.hpp"
+#include "gen/random_hypergraph.hpp"
+#include "gen/structured.hpp"
+#include "partition/metrics.hpp"
 #include "test_helpers.hpp"
 
 namespace fhp {
@@ -182,6 +188,87 @@ TEST(FileIo, WriteReadDisk) {
   const Hypergraph back = read_hmetis_file(path);
   EXPECT_EQ(back.num_vertices(), 6U);
   EXPECT_EQ(back.num_edges(), 5U);
+}
+
+TEST(HmetisIo, ZeroPinEdgeLineThrows) {
+  // fmt = 1: the edge line holds only its weight, so the pin list is empty.
+  std::istringstream in("1 3 1\n5\n");
+  EXPECT_THROW((void)read_hmetis(in), IoError);
+}
+
+TEST(HmetisIo, HeaderCountsBeyondIdRangeThrow) {
+  std::istringstream in("1 4294967295\n1 2\n");
+  EXPECT_THROW((void)read_hmetis(in), IoError);
+}
+
+TEST(HmetisIo, WriterRefusesZeroPinNets) {
+  HypergraphBuilder b;
+  b.add_vertices(2);
+  b.allow_empty_edges();
+  b.add_edge({});
+  const Hypergraph h = std::move(b).build();
+  std::ostringstream out;
+  EXPECT_THROW(write_hmetis(out, h), PreconditionError);
+}
+
+TEST(NetlistIo, NoPinSignalThrows) {
+  std::istringstream in("s1:\n");
+  EXPECT_THROW((void)read_netlist(in), IoError);
+}
+
+TEST(NetlistIo, DuplicatePinsMergeAndCountOnce) {
+  // "sig: m1 m2 m1" must become a 2-pin net, and a crossing partition must
+  // charge the net's weight exactly once.
+  std::istringstream in("sig: m1 m2 m1\n");
+  const NamedNetlist nl = read_netlist(in);
+  ASSERT_EQ(nl.hypergraph.num_edges(), 1U);
+  EXPECT_EQ(nl.hypergraph.edge_size(0), 2U);
+  const PartitionMetrics m =
+      compute_metrics(Bipartition(nl.hypergraph, {0, 1}));
+  EXPECT_EQ(m.cut_edges, 1U);
+  EXPECT_EQ(m.cut_weight, 1);
+}
+
+TEST(HmetisIo, RoundTripIsByteIdenticalAcrossGenerators) {
+  const std::vector<Hypergraph> instances = {
+      generate_circuit(
+          [] {
+            CircuitParams p;
+            p.num_modules = 40;
+            p.num_nets = 60;
+            return p;
+          }(),
+          3),
+      grid_circuit({.rows = 4, .cols = 5}, 3),
+      planted_instance(
+          [] {
+            PlantedParams p;
+            p.num_vertices = 20;
+            p.num_edges = 30;
+            return p;
+          }(),
+          3)
+          .hypergraph,
+      random_hypergraph(
+          [] {
+            RandomHypergraphParams p;
+            p.num_vertices = 25;
+            p.num_edges = 35;
+            return p;
+          }(),
+          3),
+      ripple_carry_adder(3),
+      h_tree(3),
+  };
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    std::ostringstream first;
+    write_hmetis(first, instances[i]);
+    std::istringstream back(first.str());
+    const Hypergraph reread = read_hmetis(back);
+    std::ostringstream second;
+    write_hmetis(second, reread);
+    EXPECT_EQ(first.str(), second.str()) << "instance " << i;
+  }
 }
 
 }  // namespace

@@ -95,6 +95,7 @@ TEST(Bipartition, PinsOnSideConsistent) {
 TEST(Bipartition, TrivialNetsNeverCut) {
   HypergraphBuilder b;
   b.add_vertices(3);
+  b.allow_empty_edges();  // zero-pin nets are opt-in (docs/formats.md)
   b.add_edge({0});
   b.add_edge(std::span<const VertexId>{});
   const Hypergraph h = std::move(b).build();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/error.hpp"
@@ -96,6 +97,32 @@ TEST(Stats, HistogramBinsAndClamps) {
   ASSERT_EQ(h.size(), 2U);
   EXPECT_EQ(h[0], 2U);  // -1.0 clamped in, 0.1
   EXPECT_EQ(h[1], 3U);  // 0.5, 0.9, 2.0 clamped in
+}
+
+TEST(Stats, HistogramRejectsNonFiniteSamples) {
+  // Casting NaN or an infinity to an integer is undefined behavior; the
+  // histogram must refuse such samples instead of computing a bin from
+  // them (exercised under -fsanitize=undefined in CI).
+  const std::vector<double> with_nan{0.5, std::nan("")};
+  EXPECT_THROW((void)histogram(with_nan, 0.0, 1.0, 4), PreconditionError);
+  const std::vector<double> with_inf{
+      0.5, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)histogram(with_inf, 0.0, 1.0, 4), PreconditionError);
+  const std::vector<double> with_ninf{
+      0.5, -std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)histogram(with_ninf, 0.0, 1.0, 4), PreconditionError);
+}
+
+TEST(Stats, HistogramHandlesHugeFiniteValues) {
+  // Huge-but-finite outliers must clamp into the end bins even when the
+  // quotient (x - lo) / width overflows the integer range.
+  const std::vector<double> xs{-1e300, 0.5, 1e300,
+                               std::numeric_limits<double>::max()};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2U);
+  EXPECT_EQ(h[0] + h[1], xs.size());
+  EXPECT_EQ(h[0], 1U);  // -1e300 clamps low
+  EXPECT_EQ(h[1], 3U);  // 0.5 sits on the bin edge; huge positives clamp high
 }
 
 }  // namespace

@@ -1,0 +1,68 @@
+/// \file fuzz_tool.cpp
+/// CLI front end of the differential fuzzing harness (src/validate/).
+///
+///   fuzz_tool [--instances N] [--seed S] [--starts K]
+///             [--generator NAME] [--instance I] [--mutate P]
+///
+/// Exit status 0 iff every invariant held. A reported failure replays
+/// exactly with the same --seed plus the printed --generator/--instance
+/// pair (see docs/validation.md).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "validate/fuzz.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--instances N] [--seed S] [--starts K] [--mutate P]\n"
+               "       [--generator circuit|grid|planted|random|structured]\n"
+               "       [--instance I]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fhp::validate::FuzzOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--instances") {
+        options.instances_per_generator = std::stoi(value());
+      } else if (arg == "--seed") {
+        options.seed = std::stoull(value());
+      } else if (arg == "--starts") {
+        options.algorithm_starts = std::stoi(value());
+      } else if (arg == "--mutate") {
+        options.mutate_probability = std::stod(value());
+      } else if (arg == "--generator") {
+        options.only_generator = value();
+      } else if (arg == "--instance") {
+        options.only_instance = std::stoll(value());
+      } else {
+        usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      usage(argv[0]);
+    }
+  }
+  if (!options.only_generator.empty()) {
+    bool known = false;
+    for (const std::string& name : fhp::validate::fuzz_generator_names()) {
+      known = known || name == options.only_generator;
+    }
+    if (!known) usage(argv[0]);
+  }
+
+  const fhp::validate::FuzzStats stats = fhp::validate::run_fuzz(options);
+  std::cout << stats.to_string() << '\n';
+  return stats.ok() ? 0 : 1;
+}

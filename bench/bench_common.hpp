@@ -12,6 +12,7 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -159,15 +160,33 @@ class BenchRecorder {
 /// Times one partitioner invocation and records the sample under \p label.
 /// \p run must return an Algorithm1Result or BaselineResult (anything with
 /// `metrics` and `sides`).
+///
+/// \p warmup un-timed invocations run first (cache/allocator/branch-
+/// predictor warm-up — and for workspace-backed paths, the one-time buffer
+/// growths); then \p timed_reps timed invocations run and the *minimum*
+/// wall time is recorded as the sample. Min-of-k is the standard estimator
+/// for deterministic kernels: every source of error (scheduler preemption,
+/// frequency ramps, interrupts) only ever adds time, so the minimum is the
+/// least-noisy observation. Defaults preserve the historical
+/// single-shot-no-warmup behavior for existing call sites.
 template <typename RunFn>
-TimedRun measure(const char* label, RunFn&& run) {
-  Timer timer;
-  auto r = run();
+TimedRun measure(const char* label, RunFn&& run, int warmup = 0,
+                 int timed_reps = 1) {
+  for (int i = 0; i < warmup; ++i) static_cast<void>(run());
   TimedRun out;
-  out.seconds = timer.seconds();
-  out.cut = r.metrics.cut_edges;
-  out.metrics = r.metrics;
-  out.sides = std::move(r.sides);
+  double best = 0.0;
+  for (int rep = 0; rep < timed_reps; ++rep) {
+    Timer timer;
+    auto r = run();
+    const double seconds = timer.seconds();
+    if (rep == 0 || seconds < best) {
+      best = seconds;
+      out.cut = r.metrics.cut_edges;
+      out.metrics = r.metrics;
+      out.sides = std::move(r.sides);
+    }
+  }
+  out.seconds = best;
   BenchRecorder::instance().add(label, out.seconds,
                                 static_cast<double>(out.cut));
   return out;
@@ -181,9 +200,15 @@ TimedRun measure(const char* label, RunFn&& run) {
 /// e.g. repetitions over distinct seeds. Note that under contention each
 /// per-trial wall time reflects CPU sharing with the other lanes; use the
 /// serial path when per-trial latency itself is the measurement.
+///
+/// \p warmup extra invocations of run(0) execute un-timed and un-recorded
+/// before the trials (serial, even when a pool is given), absorbing
+/// first-touch effects so trial 0 is not systematically the slowest.
 template <typename RunFn>
 std::vector<TimedRun> measure_trials(const char* label, int trials,
-                                     ThreadPool* pool, RunFn&& run) {
+                                     ThreadPool* pool, RunFn&& run,
+                                     int warmup = 0) {
+  for (int i = 0; i < warmup; ++i) static_cast<void>(run(0));
   auto one = [&run](std::size_t i) {
     Timer timer;
     auto r = run(i);
@@ -249,7 +274,11 @@ inline void print_header(const std::string& title) {
 }
 
 /// Build/environment fingerprint embedded in every run report, so that two
-/// BENCH_*.json files are only ever compared apples-to-apples.
+/// BENCH_*.json files are only ever compared apples-to-apples. Besides the
+/// compiler/build flags it stamps the hardware the run saw: the machine's
+/// thread capacity and what resolve_threads() turns a default request into
+/// — scan-rate numbers from a 4-thread laptop and a 64-thread server are
+/// not comparable, and the artifact must say which one it was.
 inline std::string env_fingerprint_json() {
   std::string out = "{\"compiler\": \"";
   out += obs::json_escape(__VERSION__);
@@ -261,7 +290,12 @@ inline std::string env_fingerprint_json() {
 #endif
   out += ", \"tracing_compiled\": ";
   out += (FHP_TRACING_ENABLED != 0) ? "true" : "false";
-  out += ", \"pointer_bits\": " + std::to_string(sizeof(void*) * 8) + "}";
+  out += ", \"pointer_bits\": " + std::to_string(sizeof(void*) * 8);
+  out += ", \"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency());
+  out += ", \"resolved_default_threads\": " +
+         std::to_string(resolve_threads(0));
+  out += "}";
   return out;
 }
 

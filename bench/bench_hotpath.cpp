@@ -5,6 +5,8 @@
 /// exit) when
 ///   - the memoized / workspace-backed pipeline is not bit-identical to the
 ///     naive allocate-per-start loop,
+///   - the cache-locality reordering (Algorithm1Options::reorder) changes
+///     the partition in any threads x memoization configuration,
 ///   - per-lane workspace reuse does not cut buffer growths by >= 2x versus
 ///     allocate-per-call (tracing builds), or
 ///   - a 50-start run records no memo hits (tracing builds).
@@ -103,6 +105,35 @@ void check_bit_identity(const Hypergraph& h) {
   }
   check(have && naive.sides == full.sides,
         "naive run_single loop == algorithm1 partition");
+}
+
+/// Bit-identity of the cache-locality reordering: the permuted-traversal
+/// pipeline must reproduce the exact partition of the original-order
+/// pipeline in every configuration — the reordering is a pure memory-layout
+/// change (see Algorithm1Options::reorder).
+void check_reorder_identity(const Hypergraph& h) {
+  print_header("bit-identity: reorder on vs off");
+  for (const int threads : {1, 8}) {
+    for (const bool memoize : {true, false}) {
+      Algorithm1Options options;
+      options.num_starts = 50;
+      options.seed = 7;
+      options.threads = threads;
+      options.memoize_starts = memoize;
+
+      options.reorder = true;
+      const Algorithm1Result reordered = algorithm1(h, options);
+      options.reorder = false;
+      const Algorithm1Result original = algorithm1(h, options);
+
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " memo=" + (memoize ? "on" : "off") +
+                                ": reordered == original partition";
+      check(reordered.sides == original.sides &&
+                reordered.metrics.cut_edges == original.metrics.cut_edges,
+            label.c_str());
+    }
+  }
 }
 
 /// Allocation accounting: the naive loop pays workspace growths on every
@@ -226,6 +257,7 @@ int main() {
 
   for (const auto* leg : {&circuit, &planted, &grid}) {
     check_bit_identity(*leg);
+    check_reorder_identity(*leg);
   }
   check_allocation_reduction(circuit);
   check_memo_hits(circuit);

@@ -10,10 +10,12 @@
 #include "core/intersection.hpp"
 #include "graph/bfs.hpp"
 #include "graph/components.hpp"
+#include "graph/reorder.hpp"
 #include "hypergraph/transform.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace fhp {
 
@@ -117,6 +119,21 @@ Algorithm1Context::Algorithm1Context(const Hypergraph& h,
     g_component_count_ = comps.count();
   }
   degenerate_ = (g_.num_vertices() == 0) || (g_component_count_ > 1);
+  if (options_.reorder && !degenerate_ && g_.num_vertices() >= 2) {
+    // Locality permutation for the BFS-heavy steps (graph/reorder.hpp).
+    // Results are mapped back to original net ids immediately after the
+    // initial cut, so everything downstream — memo keys, boundary
+    // extraction, completion, reported cuts — lives in original ids and
+    // the partition is provably unaffected (see find_pair/run_from_pair).
+    FHP_TRACE_SCOPE("reorder");
+    Timer timer;
+    perm_ = degree_bucketed_bfs_order(g_);
+    if (!perm_.is_identity()) {
+      g_perm_ = g_.permuted(perm_);
+      reordered_ = true;
+    }
+    FHP_GAUGE_SET("algorithm1/reorder_ms", timer.seconds() * 1e3);
+  }
 }
 
 Algorithm1Result Algorithm1Context::run_degenerate() const {
@@ -303,7 +320,20 @@ DiameterPair Algorithm1Context::find_pair(VertexId start, Workspace& ws) const {
   FHP_REQUIRE(start < g_.num_vertices(), "start vertex out of range");
   FHP_REQUIRE(g_.num_vertices() >= 2,
               "a pseudo-diameter pair needs at least two G-vertices");
-  return longest_path_from(g_, start, options_.bfs_sweeps, ws);
+  if (!reordered_) {
+    return longest_path_from(g_, start, options_.bfs_sweeps, ws);
+  }
+  // Traverse the locality-permuted graph but break `farthest` ties by
+  // original id (tie_rank = inverse permutation): the elected endpoints —
+  // and hence the memo keys and everything downstream — are exactly those
+  // the un-reordered run elects.
+  BfsKernelOptions kernel;
+  kernel.tie_rank = perm_.to_old.data();
+  DiameterPair pair = longest_path_from(g_perm_, perm_.to_new[start],
+                                        options_.bfs_sweeps, ws, kernel);
+  pair.s = perm_.to_old[pair.s];
+  pair.t = perm_.to_old[pair.t];
+  return pair;
 }
 
 Algorithm1Result Algorithm1Context::run_from_pair(const DiameterPair& pair,
@@ -322,13 +352,19 @@ Algorithm1Result Algorithm1Context::run_from_pair(const DiameterPair& pair,
     std::uint32_t depth = 0;
     {
       FHP_TRACE_SCOPE("initial_cut");
-      const BfsSummary levels = bfs_scan(g_, pair.s, scratch.ws);
+      // Distance labels are relabeling-invariant, so the sweep may run on
+      // the permuted graph; the copy-out below indexes through the
+      // permutation to land the labels back on original ids.
+      const BfsSummary levels =
+          reordered_ ? bfs_scan(g_perm_, perm_.to_new[pair.s], scratch.ws)
+                     : bfs_scan(g_, pair.s, scratch.ws);
       depth = levels.depth;
       // The completion sweep below reuses the workspace, so the distance
       // labels must outlive it: copy them into the dedicated buffer.
       scratch.levels.resize(g_.num_vertices());
       for (VertexId u = 0; u < g_.num_vertices(); ++u) {
-        scratch.levels[u] = scratch.ws.distance.get(u);
+        scratch.levels[u] =
+            scratch.ws.distance.get(reordered_ ? perm_.to_new[u] : u);
       }
     }
     const Weight total = h.total_vertex_weight();
@@ -367,11 +403,28 @@ Algorithm1Result Algorithm1Context::run_from_pair(const DiameterPair& pair,
     return best;
   }
 
-  bidirectional_bfs_cut(g_, pair.s, pair.t, scratch.ws, scratch.cut);
-  for (std::uint8_t s : scratch.cut.side) {
-    FHP_ASSERT(s != 2, "all G-vertices reachable when G is connected");
+  // The region-growing cut is a function of adjacency and region sizes
+  // only (see bfs.hpp), so it may run on the permuted graph; the claimed
+  // sides are mapped back through the inverse permutation BEFORE boundary
+  // extraction, whose tie-breaking is index-sensitive and must see
+  // original ids for reorder on/off to stay bit-identical.
+  if (reordered_) {
+    bidirectional_bfs_cut(g_perm_, perm_.to_new[pair.s], perm_.to_new[pair.t],
+                          scratch.ws, scratch.cut);
+    scratch.g_side.resize(g_.num_vertices());
+    for (VertexId u = 0; u < g_.num_vertices(); ++u) {
+      const std::uint8_t s = scratch.cut.side[perm_.to_new[u]];
+      FHP_ASSERT(s != 2, "all G-vertices reachable when G is connected");
+      scratch.g_side[u] = s;
+    }
+  } else {
+    bidirectional_bfs_cut(g_, pair.s, pair.t, scratch.ws, scratch.cut);
+    scratch.g_side.assign(scratch.cut.side.begin(), scratch.cut.side.end());
+    for (std::uint8_t s : scratch.g_side) {
+      FHP_ASSERT(s != 2, "all G-vertices reachable when G is connected");
+    }
   }
-  Algorithm1Result completed = complete_from_cut_impl(scratch.cut.side,
+  Algorithm1Result completed = complete_from_cut_impl(scratch.g_side,
                                                       scratch);
   completed.pseudo_diameter = pair.distance;
   completed.starts_run = 1;

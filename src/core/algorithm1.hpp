@@ -26,6 +26,7 @@
 #include "core/boundary.hpp"
 #include "core/complete_cut.hpp"
 #include "graph/bfs.hpp"
+#include "graph/reorder.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "obs/report.hpp"
 #include "partition/metrics.hpp"
@@ -93,6 +94,16 @@ struct Algorithm1Options {
   /// Off = recompute every start (the pre-memoization behavior, kept for
   /// differential benching/testing).
   bool memoize_starts = true;
+  /// Relabel the intersection graph for cache locality before the starts
+  /// run (graph/reorder.hpp, RCM-lite ordering): the BFS-heavy steps 1-2
+  /// then traverse nearly-sequential memory instead of hopping across a
+  /// CSR laid out in net-numbering order. The initial cut is mapped back
+  /// through the inverse permutation before boundary extraction, and
+  /// `farthest` tie-breaks compare original net ids, so the partition —
+  /// not merely the cutsize — is bit-identical with reorder on or off at
+  /// any thread count (gated by bench_hotpath and the reorder property
+  /// test; see docs/performance.md). Off = traverse in input order.
+  bool reorder = true;
   /// RNG seed; every run with the same seed and input is identical.
   std::uint64_t seed = 1;
   /// Execution lanes for the multi-start loop and the intersection-graph
@@ -149,6 +160,18 @@ class Algorithm1Context {
   }
   /// True iff the filtered intersection graph is disconnected or empty.
   [[nodiscard]] bool is_degenerate() const noexcept { return degenerate_; }
+  /// True iff a non-identity locality permutation is in effect
+  /// (Algorithm1Options::reorder on a non-degenerate instance).
+  [[nodiscard]] bool reordered() const noexcept { return reordered_; }
+  /// The locality permutation (identity-sized only when reordered()).
+  [[nodiscard]] const Permutation& permutation() const noexcept {
+    return perm_;
+  }
+  /// The graph the BFS steps actually traverse: the permuted intersection
+  /// graph when reordered(), otherwise intersection() itself.
+  [[nodiscard]] const Graph& traversal_graph() const noexcept {
+    return reordered_ ? g_perm_ : g_;
+  }
 
   /// Reusable per-start (per-lane) scratch: the Workspace substrate plus
   /// the structures the pipeline refills every start. One StartScratch per
@@ -231,6 +254,9 @@ class Algorithm1Context {
   std::unique_ptr<ThreadPool> pool_;
   Hypergraph filtered_;
   Graph g_;
+  Permutation perm_;   ///< locality relabeling of g_ (when reordered_)
+  Graph g_perm_;       ///< g_ relabeled by perm_ (when reordered_)
+  bool reordered_ = false;
   bool degenerate_ = false;
   std::vector<VertexId> g_component_;  ///< component label per G-vertex
   VertexId g_component_count_ = 0;

@@ -14,6 +14,8 @@
 
 namespace fhp {
 
+struct Permutation;  // graph/reorder.hpp
+
 /// Immutable undirected simple graph in CSR form. Self-loops and parallel
 /// edges are rejected/merged at construction.
 class Graph {
@@ -71,6 +73,13 @@ class Graph {
   }
   /// True iff u and v are adjacent (binary search, O(log deg)).
   [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Relabeled copy under \p perm: new vertex v is old vertex
+  /// perm.to_old[v], rows re-sorted ascending in the new numbering. The
+  /// result is isomorphic to *this — same degrees, same distances — but
+  /// with the memory layout of the ordering (see graph/reorder.hpp;
+  /// implemented in reorder.cpp).
+  [[nodiscard]] Graph permuted(const Permutation& perm) const;
 
   /// Structural self-check; aborts on violation.
   void validate() const;

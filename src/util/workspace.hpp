@@ -128,9 +128,13 @@ class Workspace {
   EpochArray<std::uint64_t> edge_mark;  ///< per-edge dedup stamps
 
   // ---- reusable plain buffers (capacity persists across uses) ----
-  std::vector<VertexId> queue;        ///< single-source BFS queue
+  std::vector<VertexId> queue;        ///< BFS current-level frontier
   std::vector<VertexId> frontier[2];  ///< bidirectional BFS frontiers
   std::vector<VertexId> next;         ///< next-level staging buffer
+  /// Frontier membership bitset for bottom-up BFS steps: one bit per
+  /// vertex, rebuilt from the flat frontier array at each bottom-up level
+  /// (an O(n/64) clear + O(|frontier|) fill).
+  std::vector<std::uint64_t> frontier_bits;
   std::vector<VertexId> order;        ///< sort scratch (balance passes)
   std::vector<std::uint32_t> degree;  ///< bucket-queue degree array
   std::vector<std::vector<VertexId>> buckets;  ///< bucket-queue storage

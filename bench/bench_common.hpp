@@ -9,9 +9,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -26,6 +28,7 @@
 #include "gen/planted.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "obs/report.hpp"
+#include "util/memory.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -124,16 +127,19 @@ class BenchRecorder {
   }
 
   /// Serializes every series as {"label": {"runs", "seconds": {stats},
-  /// "cut": {stats}}, ...} in first-recorded order.
+  /// "cut": {stats}}, ...} in first-recorded order. Stats carry the
+  /// distribution (p50/p90/p99), not just the range, so the ledger and
+  /// benchdiff can reason about tails.
   [[nodiscard]] std::string to_json() const {
     std::lock_guard<std::mutex> lock(mutex_);
     auto stats_json = [](const std::vector<double>& xs) {
-      char buffer[160];
+      char buffer[224];
       std::snprintf(buffer, sizeof(buffer),
                     "{\"mean\": %.9g, \"median\": %.9g, \"min\": %.9g, "
-                    "\"max\": %.9g}",
+                    "\"max\": %.9g, \"p90\": %.9g, \"p99\": %.9g}",
                     mean(xs), quantile(xs, 0.5), quantile(xs, 0.0),
-                    quantile(xs, 1.0));
+                    quantile(xs, 1.0), quantile(xs, 0.9),
+                    quantile(xs, 0.99));
       return std::string(buffer);
     };
     std::string out = "{";
@@ -273,14 +279,28 @@ inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n\n", title.c_str());
 }
 
+// Build attribution stamped by CMake (see the top-level CMakeLists.txt);
+// fallbacks keep out-of-band compiles (IDE single-file checks) building.
+#ifndef FHP_GIT_SHA
+#define FHP_GIT_SHA "unknown"
+#endif
+#ifndef FHP_BUILD_TYPE
+#define FHP_BUILD_TYPE "unknown"
+#endif
+
 /// Build/environment fingerprint embedded in every run report, so that two
 /// BENCH_*.json files are only ever compared apples-to-apples. Besides the
-/// compiler/build flags it stamps the hardware the run saw: the machine's
-/// thread capacity and what resolve_threads() turns a default request into
-/// — scan-rate numbers from a 4-thread laptop and a 64-thread server are
+/// compiler/build flags it stamps the producing commit (so ledger records
+/// are attributable) and the hardware the run saw: the machine's thread
+/// capacity and what resolve_threads() turns a default request into —
+/// scan-rate numbers from a 4-thread laptop and a 64-thread server are
 /// not comparable, and the artifact must say which one it was.
 inline std::string env_fingerprint_json() {
-  std::string out = "{\"compiler\": \"";
+  std::string out = "{\"git_sha\": \"";
+  out += obs::json_escape(FHP_GIT_SHA);
+  out += "\", \"build_type\": \"";
+  out += obs::json_escape(FHP_BUILD_TYPE);
+  out += "\", \"compiler\": \"";
   out += obs::json_escape(__VERSION__);
   out += "\", \"cxx_standard\": " + std::to_string(__cplusplus);
 #ifdef NDEBUG
@@ -302,8 +322,16 @@ inline std::string env_fingerprint_json() {
 /// RAII run-report scope for a bench executable. Construct first thing in
 /// main(); on destruction it prints the phase tree (tracing builds only)
 /// and writes BENCH_<name>.json — per-label timing/cut stats from every
-/// measure() call plus the phase tree, counters and the env fingerprint —
-/// into $FHP_BENCH_JSON_DIR (default: the working directory).
+/// measure() call plus the phase tree, counters, histograms, peak RSS and
+/// the env fingerprint — into $FHP_BENCH_JSON_DIR (default: the working
+/// directory).
+///
+/// The same record is additionally APPENDED as one line to the run ledger
+/// `$FHP_BENCH_LEDGER_DIR/<name>.jsonl` (default: `<json dir>/ledger/`),
+/// so repeated runs accumulate a queryable perf trajectory — commit SHA,
+/// build type, wall times, counters and RSS per run — instead of each run
+/// overwriting the last snapshot. Set FHP_BENCH_LEDGER_DIR=none to skip
+/// the ledger (e.g. throwaway experiments).
 class BenchSession {
  public:
   explicit BenchSession(std::string name) : name_(std::move(name)) {
@@ -329,24 +357,50 @@ class BenchSession {
     json += ", \"generated_unix\": " +
             std::to_string(static_cast<long long>(std::time(nullptr)));
     json += ", \"env\": " + env_fingerprint_json();
+    // Top-level copy of the RSS sample (it also sits in the trace gauges)
+    // so ledger queries and benchdiff reach it without digging.
+    json += ", \"peak_rss_bytes\": " + std::to_string(peak_rss_bytes());
     json += ", \"series\": " + BenchRecorder::instance().to_json();
     json += ", \"trace\": " + obs::to_json(report) + "}\n";
 
     const char* dir = std::getenv("FHP_BENCH_JSON_DIR");
-    const std::string path =
-        std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/BENCH_" +
-        name_ + ".json";
+    const std::string json_dir =
+        std::string(dir != nullptr && *dir != '\0' ? dir : ".");
+    const std::string path = json_dir + "/BENCH_" + name_ + ".json";
     std::ofstream out(path);
     if (!out) {
       std::fprintf(stderr, "warning: cannot write run report %s\n",
                    path.c_str());
-      return;
+    } else {
+      out << json;
+      std::printf("run report written to %s\n", path.c_str());
     }
-    out << json;
-    std::printf("run report written to %s\n", path.c_str());
+    append_ledger_record(json_dir, json);
   }
 
  private:
+  /// Appends \p record (one line, trailing newline included) to the run
+  /// ledger. Failures warn and continue: the ledger is telemetry, and a
+  /// read-only artifact directory must not fail the bench itself.
+  void append_ledger_record(const std::string& json_dir,
+                            const std::string& record) const {
+    const char* env = std::getenv("FHP_BENCH_LEDGER_DIR");
+    std::string ledger_dir =
+        env != nullptr && *env != '\0' ? env : json_dir + "/ledger";
+    if (ledger_dir == "none") return;
+    std::error_code ec;
+    std::filesystem::create_directories(ledger_dir, ec);
+    const std::string path = ledger_dir + "/" + name_ + ".jsonl";
+    std::ofstream ledger(path, std::ios::app);
+    if (!ledger) {
+      std::fprintf(stderr, "warning: cannot append ledger record %s\n",
+                   path.c_str());
+      return;
+    }
+    ledger << record;
+    std::printf("ledger record appended to %s\n", path.c_str());
+  }
+
   std::string name_;
   bool finished_ = false;
 };

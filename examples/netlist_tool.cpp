@@ -21,6 +21,9 @@
 ///     --trace                     print the phase tree + counters
 ///     --json FILE                 write the trace report as JSON
 ///     --chrome-trace FILE         write a chrome://tracing event file
+///     --metrics-out FILE          write a machine-readable JSON summary
+///                                 (input, config, quality metrics,
+///                                 runtime, peak RSS, trace report)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +44,7 @@
 #include "hypergraph/stats.hpp"
 #include "obs/report.hpp"
 #include "partition/report.hpp"
+#include "util/memory.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -56,6 +60,7 @@ struct CliOptions {
   std::string output;
   std::string json_path;
   std::string chrome_trace_path;
+  std::string metrics_path;
   int starts = 50;
   int threads = 0;
   std::uint32_t kway = 2;
@@ -98,7 +103,10 @@ void print_usage() {
       "  --verbose                 print the full cut analysis\n"
       "  --trace                   print the phase tree and counters\n"
       "  --json FILE               write the trace report as JSON\n"
-      "  --chrome-trace FILE       write a chrome://tracing event file\n");
+      "  --chrome-trace FILE       write a chrome://tracing event file\n"
+      "  --metrics-out FILE        write a machine-readable JSON summary\n"
+      "                            (input, config, quality metrics,\n"
+      "                            runtime, peak RSS, trace report)\n");
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -146,6 +154,8 @@ CliOptions parse(int argc, char** argv) {
       options.json_path = value();
     } else if (arg == "--chrome-trace") {
       options.chrome_trace_path = value();
+    } else if (arg == "--metrics-out") {
+      options.metrics_path = value();
     } else if (!arg.empty() && arg[0] == '-') {
       usage_error("unknown option " + arg);
     } else if (options.input.empty()) {
@@ -256,6 +266,64 @@ bool emit_observability(const CliOptions& cli) {
   return ok;
 }
 
+/// Common prefix of the --metrics-out document: the invocation that
+/// produced the run, so a metrics file is self-describing.
+std::string metrics_prelude(const CliOptions& cli, double seconds) {
+  std::string json = "{\"tool\": \"netlist_tool\"";
+  json += ", \"input\": \"" + obs::json_escape(cli.input) + "\"";
+  json += ", \"format\": \"" + obs::json_escape(cli.format) + "\"";
+  json += ", \"algorithm\": \"" + obs::json_escape(cli.algorithm) + "\"";
+  json += ", \"kway\": " + std::to_string(cli.kway > 2 ? cli.kway : 2);
+  json += ", \"starts\": " + std::to_string(cli.starts);
+  json += ", \"threshold\": " + std::to_string(cli.threshold);
+  json += ", \"seed\": " + std::to_string(cli.seed);
+  json += std::string(", \"refined\": ") + (cli.refine ? "true" : "false");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", seconds);
+  json += std::string(", \"runtime_seconds\": ") + buffer;
+  json += ", \"peak_rss_bytes\": " + std::to_string(peak_rss_bytes());
+  return json;
+}
+
+/// Writes the --metrics-out document for the bipartition path.
+bool write_metrics_file(const CliOptions& cli, const PartitionMetrics& m,
+                        double seconds) {
+  if (cli.metrics_path.empty()) return true;
+  std::string json = metrics_prelude(cli, seconds);
+  char buffer[64];
+  json += ", \"metrics\": {\"cut_edges\": " + std::to_string(m.cut_edges);
+  json += ", \"cut_weight\": " + std::to_string(m.cut_weight);
+  json += ", \"left_count\": " + std::to_string(m.left_count);
+  json += ", \"right_count\": " + std::to_string(m.right_count);
+  json += ", \"left_weight\": " + std::to_string(m.left_weight);
+  json += ", \"right_weight\": " + std::to_string(m.right_weight);
+  json += ", \"cardinality_imbalance\": " +
+          std::to_string(m.cardinality_imbalance);
+  json += ", \"weight_imbalance\": " + std::to_string(m.weight_imbalance);
+  std::snprintf(buffer, sizeof(buffer), "%.9g", m.quotient_cut);
+  json += std::string(", \"quotient_cut\": ") + buffer;
+  std::snprintf(buffer, sizeof(buffer), "%.9g", m.ratio_cut);
+  json += std::string(", \"ratio_cut\": ") + buffer;
+  json += std::string(", \"proper\": ") + (m.proper ? "true" : "false") + "}";
+  json += ", \"trace\": " + obs::to_json(obs::snapshot()) + "}\n";
+  return write_text_file(cli.metrics_path, json, "metrics");
+}
+
+/// Writes the --metrics-out document for the recursive k-way path.
+bool write_metrics_file(const CliOptions& cli, const KWayResult& r,
+                        double seconds) {
+  if (cli.metrics_path.empty()) return true;
+  std::string json = metrics_prelude(cli, seconds);
+  json += ", \"metrics\": {\"parts\": " + std::to_string(cli.kway);
+  json += ", \"spanning_nets\": " + std::to_string(r.cut_edges);
+  json += ", \"min_part_weight\": " +
+          std::to_string(static_cast<long long>(r.min_part_weight));
+  json += ", \"max_part_weight\": " +
+          std::to_string(static_cast<long long>(r.max_part_weight)) + "}";
+  json += ", \"trace\": " + obs::to_json(obs::snapshot()) + "}\n";
+  return write_text_file(cli.metrics_path, json, "metrics");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -294,12 +362,13 @@ int main(int argc, char** argv) {
       recursive.rebalance = true;
       Timer timer;
       const KWayResult r = recursive_partition(h, cli.kway, recursive);
+      const double kway_seconds = timer.seconds();
       std::printf("k-way partition: %u parts, %u spanning nets, part "
                   "weights %lld..%lld\n",
                   cli.kway, r.cut_edges,
                   static_cast<long long>(r.min_part_weight),
                   static_cast<long long>(r.max_part_weight));
-      std::printf("runtime: %.3f s\n", timer.seconds());
+      std::printf("runtime: %.3f s\n", kway_seconds);
       if (!cli.output.empty()) {
         std::ofstream out(cli.output);
         if (!out) {
@@ -310,7 +379,9 @@ int main(int argc, char** argv) {
         for (std::uint32_t part : r.part) out << part << '\n';
         std::printf("part ids written to %s\n", cli.output.c_str());
       }
-      return emit_observability(cli) ? 0 : 1;
+      bool ok = write_metrics_file(cli, r, kway_seconds);
+      ok &= emit_observability(cli);
+      return ok ? 0 : 1;
     }
 
     Timer timer;
@@ -324,11 +395,11 @@ int main(int argc, char** argv) {
     const double seconds = timer.seconds();
 
     const Bipartition partition(h, sides);
+    const PartitionMetrics metrics = compute_metrics(partition);
     if (cli.verbose) {
       std::printf("%s", to_string(analyze(partition)).c_str());
     } else {
-      std::printf("partition: %s\n",
-                  to_string(compute_metrics(partition)).c_str());
+      std::printf("partition: %s\n", to_string(metrics).c_str());
     }
     std::printf("runtime: %.3f s\n", seconds);
 
@@ -341,6 +412,7 @@ int main(int argc, char** argv) {
       write_partition(out, sides);
       std::printf("partition written to %s\n", cli.output.c_str());
     }
+    if (!write_metrics_file(cli, metrics, seconds)) return 1;
     if (!emit_observability(cli)) return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

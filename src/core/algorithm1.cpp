@@ -13,6 +13,7 @@
 #include "graph/reorder.hpp"
 #include "hypergraph/transform.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -283,6 +284,7 @@ Algorithm1Result Algorithm1Context::run_single(VertexId start,
   FHP_REQUIRE(!degenerate_, "degenerate instance: use run_degenerate()");
   FHP_REQUIRE(start < g_.num_vertices(), "start vertex out of range");
   FHP_COUNTER_ADD("alg1/starts_examined", 1);
+  FHP_HIST_SCOPE_US("alg1/start_latency_us");
   const Hypergraph& h = *h_;
 
   // --- Single-net corner case: G is one vertex; the only proper options
@@ -642,6 +644,7 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
       Algorithm1Context::StartScratch& s = lane_scratch();
       for (std::size_t i = begin; i < end; ++i) {
         FHP_COUNTER_ADD("alg1/starts_examined", 1);
+        FHP_HIST_SCOPE_US("alg1/pair_find_us");
         pairs[i] = context.find_pair(starts[i], s.ws);
       }
     };
@@ -677,6 +680,9 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
     auto complete_range = [&](std::size_t begin, std::size_t end) {
       Algorithm1Context::StartScratch& s = lane_scratch();
       for (std::size_t i = begin; i < end; ++i) {
+        // Same histogram as the unmemoized per-start path: a memo run's
+        // "starts" are the unique pairs it actually completes.
+        FHP_HIST_SCOPE_US("alg1/start_latency_us");
         completed[owners[i]] = context.run_from_pair(pairs[owners[i]], s);
       }
     };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 
 namespace fhp {
@@ -101,6 +102,7 @@ Graph intersection_graph(const Hypergraph& h,
                          const IntersectionOptions& options) {
   FHP_TRACE_SCOPE("intersection");
   FHP_COUNTER_ADD("intersection/builds", 1);
+  FHP_HIST_SCOPE_US("intersection/build_us");
 
   const std::vector<char> skip = mark_skipped(h, options);
   FHP_COUNTER_ADD("intersection/pairs_emitted", count_raw_pairs(h, skip));

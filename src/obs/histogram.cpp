@@ -1,0 +1,101 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace fhp::obs {
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0 || counts.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(q * static_cast<double>(count))),
+      1, count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      return std::clamp(hist_bucket_upper(i), min, max);
+    }
+  }
+  return max;
+}
+
+Histograms& Histograms::instance() {
+  static Histograms histograms;
+  return histograms;
+}
+
+void Histograms::Hist::record(std::uint64_t v) {
+  buckets[hist_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  sum.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = min.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histograms::Hist::to_snapshot(std::string name) const {
+  HistogramSnapshot out;
+  out.name = std::move(name);
+  out.counts.resize(kHistBuckets);
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    out.counts[i] = buckets[i].load(std::memory_order_relaxed);
+    out.count += out.counts[i];
+  }
+  out.sum = sum.load(std::memory_order_relaxed);
+  out.max = max.load(std::memory_order_relaxed);
+  const std::uint64_t low = min.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0 : low;
+  if (out.count == 0) out.counts.clear();
+  return out;
+}
+
+void Histograms::record(const char* name, long long value) {
+  const std::uint64_t v =
+      value < 0 ? 0 : static_cast<std::uint64_t>(value);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      it->second.record(v);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  histograms_[name].record(v);
+}
+
+std::vector<HistogramSnapshot> Histograms::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back(hist.to_snapshot(name));
+  }
+  return out;
+}
+
+HistogramSnapshot Histograms::snapshot_of(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = histograms_.find(std::string(name));
+  if (it == histograms_.end()) {
+    HistogramSnapshot empty;
+    empty.name = std::string(name);
+    return empty;
+  }
+  return it->second.to_snapshot(std::string(name));
+}
+
+void Histograms::reset() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  histograms_.clear();
+}
+
+}  // namespace fhp::obs

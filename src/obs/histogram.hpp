@@ -1,0 +1,199 @@
+/// \file histogram.hpp
+/// Log-bucketed latency/value histograms — the distribution half of the
+/// observability layer (counters say how often, spans say how long in
+/// total; histograms say how long *each time*, so a report can state p50
+/// and p99 instead of a mean that hides the tail).
+///
+/// Usage at an instrumentation site:
+///
+///     FHP_HIST_RECORD("alg1/start_latency_us", elapsed_us);
+///
+///     void complete_start() {
+///       FHP_HIST_SCOPE_US("alg1/start_latency_us");  // times the scope
+///       ...
+///     }
+///
+/// Bucketing is HDR-style: each power-of-two range splits into
+/// kSubBuckets = 16 linear sub-buckets, so any recorded value lands in a
+/// bucket whose width is at most 1/16 of its magnitude — percentile
+/// queries are exact for values below 32 and within 6.25% relative error
+/// everywhere else, over the full uint64 range, in a fixed 976-slot
+/// table. No allocation ever happens on the record path.
+///
+/// Threading model: the registry is a process-wide singleton and
+/// THREAD-SAFE. A histogram's buckets are atomics; concurrent record()
+/// calls never lose observations, and because bucket increments commute,
+/// the merged counts a snapshot sees are exactly the same whatever order
+/// the threads interleaved in (multi-thread determinism is tested).
+/// Snapshots merge the live atomics into plain copyable data; percentile
+/// math runs on the snapshot, never on the hot registry.
+///
+/// Compile-time kill switch: under -DFHP_ENABLE_TRACING=OFF both macros
+/// compile to `static_cast<void>(0)` — zero instructions, zero data, and
+/// the value/name arguments are never evaluated. The classes stay defined
+/// in both modes so exporters, tests and tools always compile and link.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#ifndef FHP_TRACING_ENABLED
+#define FHP_TRACING_ENABLED 1
+#endif
+
+namespace fhp::obs {
+
+/// Number of linear sub-buckets per power-of-two range (and its log2).
+inline constexpr std::uint64_t kHistSubBuckets = 16;
+inline constexpr int kHistSubBucketLog2 = 4;
+
+/// Total bucket count covering every uint64 value: shifts run 0..59 and
+/// each contributes kHistSubBuckets slots past the initial 2*16 exact ones.
+inline constexpr std::size_t kHistBuckets =
+    static_cast<std::size_t>((64 - (kHistSubBucketLog2 + 1)) *
+                                 kHistSubBuckets +
+                             2 * kHistSubBuckets);
+
+/// Bucket index of value \p v; monotone in v.
+[[nodiscard]] constexpr std::size_t hist_bucket_index(std::uint64_t v) {
+  if (v < kHistSubBuckets) return static_cast<std::size_t>(v);
+  const int shift =
+      static_cast<int>(std::bit_width(v)) - (kHistSubBucketLog2 + 1);
+  return static_cast<std::size_t>(shift) *
+             static_cast<std::size_t>(kHistSubBuckets) +
+         static_cast<std::size_t>(v >> shift);
+}
+
+/// Smallest value mapping to bucket \p index.
+[[nodiscard]] constexpr std::uint64_t hist_bucket_lower(std::size_t index) {
+  if (index < 2 * kHistSubBuckets) return index;
+  const std::size_t shift = index / kHistSubBuckets - 1;
+  const std::uint64_t sub =
+      static_cast<std::uint64_t>(index - shift * kHistSubBuckets);
+  return sub << shift;
+}
+
+/// Largest value mapping to bucket \p index.
+[[nodiscard]] constexpr std::uint64_t hist_bucket_upper(std::size_t index) {
+  if (index < 2 * kHistSubBuckets) return index;
+  const std::size_t shift = index / kHistSubBuckets - 1;
+  const std::uint64_t sub =
+      static_cast<std::uint64_t>(index - shift * kHistSubBuckets);
+  return ((sub + 1) << shift) - 1;
+}
+
+/// Immutable copy of one histogram's state; all queries run here.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;  ///< observations recorded
+  std::uint64_t sum = 0;    ///< exact sum of observations
+  std::uint64_t min = 0;    ///< exact smallest observation (0 when empty)
+  std::uint64_t max = 0;    ///< exact largest observation
+  /// Dense bucket counts (kHistBuckets entries; empty when count == 0).
+  std::vector<std::uint64_t> counts;
+
+  /// Value at quantile \p q in [0, 1]: the upper bound of the bucket where
+  /// the cumulative count first reaches ceil(q * count), clamped into
+  /// [min, max] so the answer is always an observed magnitude. Exact for
+  /// values < 32, within 1/16 relative error above. Returns 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const;
+
+  /// Arithmetic mean (exact, from sum/count); 0 when empty.
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Process-wide histogram registry. Use via the macros below; the direct
+/// API exists for tests, exporters and custom integrations.
+class Histograms {
+ public:
+  static Histograms& instance();
+
+  /// Records one observation of \p value into histogram \p name (creating
+  /// it empty). Negative values clamp to 0. Thread-safe and
+  /// allocation-free except the first record of a new name.
+  void record(const char* name, long long value);
+
+  /// Copies every histogram out (unsorted). Thread-safe; empty histograms
+  /// (never recorded since reset) are not created, so absence means the
+  /// site never fired.
+  [[nodiscard]] std::vector<HistogramSnapshot> snapshot() const;
+
+  /// Copies one histogram by name; count == 0 when it was never recorded.
+  [[nodiscard]] HistogramSnapshot snapshot_of(std::string_view name) const;
+
+  /// Drops every histogram. Do not race with concurrent writers (reset
+  /// between parallel regions, not inside them).
+  void reset();
+
+ private:
+  /// Live recording state: a fixed table of atomic bucket counts plus
+  /// exact sum/min/max. Node-stable inside the unordered_map, so a slot
+  /// found under the shared lock stays valid for the lock-free updates.
+  struct Hist {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+
+    void record(std::uint64_t v);
+    [[nodiscard]] HistogramSnapshot to_snapshot(std::string name) const;
+  };
+
+  Histograms() = default;
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, Hist> histograms_;
+};
+
+/// RAII latency probe: records the scope's wall time in MICROSECONDS into
+/// histogram \p name on destruction. Use via FHP_HIST_SCOPE_US.
+class ScopedLatencyUs {
+ public:
+  explicit ScopedLatencyUs(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatencyUs() {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start_);
+    Histograms::instance().record(name_, elapsed.count());
+  }
+  ScopedLatencyUs(const ScopedLatencyUs&) = delete;
+  ScopedLatencyUs& operator=(const ScopedLatencyUs&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fhp::obs
+
+#ifndef FHP_OBS_CONCAT
+#define FHP_OBS_CONCAT_IMPL(a, b) a##b
+#define FHP_OBS_CONCAT(a, b) FHP_OBS_CONCAT_IMPL(a, b)
+#endif
+
+#if FHP_TRACING_ENABLED
+/// Records \p value into the process-wide histogram \p name.
+#define FHP_HIST_RECORD(name, value) \
+  ::fhp::obs::Histograms::instance().record((name), (value))
+/// Times the enclosing scope and records microseconds into \p name.
+#define FHP_HIST_SCOPE_US(name)    \
+  ::fhp::obs::ScopedLatencyUs FHP_OBS_CONCAT(fhp_hist_scope_, \
+                                             __COUNTER__)(name)
+#else
+#define FHP_HIST_RECORD(name, value) static_cast<void>(0)
+#define FHP_HIST_SCOPE_US(name) static_cast<void>(0)
+#endif

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/memory.hpp"
+
 namespace fhp::obs {
 
 namespace {
@@ -60,7 +62,20 @@ double TraceReport::gauge(std::string_view name) const {
   for (const auto& [key, value] : gauges) {
     if (key == name) return value;
   }
+  if (name == "process/peak_rss_bytes") {
+    return static_cast<double>(peak_rss_bytes);
+  }
+  if (name == "process/current_rss_bytes") {
+    return static_cast<double>(current_rss_bytes);
+  }
   return 0.0;
+}
+
+const HistogramSnapshot* TraceReport::histogram(std::string_view name) const {
+  for (const HistogramSnapshot& hist : histograms) {
+    if (hist.name == name) return &hist;
+  }
+  return nullptr;
 }
 
 TraceReport snapshot() {
@@ -95,12 +110,20 @@ TraceReport snapshot() {
   std::sort(report.counters.begin(), report.counters.end());
   report.gauges = registry.gauges_snapshot();
   std::sort(report.gauges.begin(), report.gauges.end());
+  report.histograms = Histograms::instance().snapshot();
+  std::sort(report.histograms.begin(), report.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  report.peak_rss_bytes = fhp::peak_rss_bytes();
+  report.current_rss_bytes = fhp::current_rss_bytes();
   return report;
 }
 
 void reset() {
   Tracer::instance().reset();
   Counters::instance().reset();
+  Histograms::instance().reset();
 }
 
 std::string to_tree_string(const TraceReport& report) {
@@ -163,10 +186,29 @@ std::string to_tree_string(const TraceReport& report) {
       appendf(out, "  %-40s %12lld\n", name.c_str(), value);
     }
   }
-  if (!report.gauges.empty()) {
+  if (!report.gauges.empty() || report.peak_rss_bytes > 0) {
     out += "gauges\n";
     for (const auto& [name, value] : report.gauges) {
       appendf(out, "  %-40s %12.3f\n", name.c_str(), value);
+    }
+    if (report.peak_rss_bytes > 0) {
+      appendf(out, "  %-40s %12.3f\n", "process/current_rss_bytes",
+              static_cast<double>(report.current_rss_bytes));
+      appendf(out, "  %-40s %12.3f\n", "process/peak_rss_bytes",
+              static_cast<double>(report.peak_rss_bytes));
+    }
+  }
+  if (!report.histograms.empty()) {
+    out += "histograms                                  count       p50"
+           "       p90       p99       max\n";
+    for (const HistogramSnapshot& hist : report.histograms) {
+      appendf(out, "  %-36s %9llu %9llu %9llu %9llu %9llu\n",
+              hist.name.c_str(),
+              static_cast<unsigned long long>(hist.count),
+              static_cast<unsigned long long>(hist.percentile(0.50)),
+              static_cast<unsigned long long>(hist.percentile(0.90)),
+              static_cast<unsigned long long>(hist.percentile(0.99)),
+              static_cast<unsigned long long>(hist.max));
     }
   }
   if (report.dropped_events > 0) {
@@ -220,6 +262,34 @@ std::string to_json(const TraceReport& report) {
     out += "\": ";
     appendf(out, "%.17g", report.gauges[i].second);
   }
+  if (report.peak_rss_bytes > 0) {
+    if (!report.gauges.empty()) out += ", ";
+    appendf(out, "\"process/current_rss_bytes\": %llu",
+            static_cast<unsigned long long>(report.current_rss_bytes));
+    appendf(out, ", \"process/peak_rss_bytes\": %llu",
+            static_cast<unsigned long long>(report.peak_rss_bytes));
+  }
+  out += "}";
+
+  out += ", \"histograms\": {";
+  for (std::size_t i = 0; i < report.histograms.size(); ++i) {
+    const HistogramSnapshot& hist = report.histograms[i];
+    if (i > 0) out += ", ";
+    out += "\"";
+    out += json_escape(hist.name);
+    out += "\": ";
+    appendf(out,
+            "{\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+            "\"max\": %llu, \"mean\": %.9g, \"p50\": %llu, "
+            "\"p90\": %llu, \"p99\": %llu}",
+            static_cast<unsigned long long>(hist.count),
+            static_cast<unsigned long long>(hist.sum),
+            static_cast<unsigned long long>(hist.min),
+            static_cast<unsigned long long>(hist.max), hist.mean(),
+            static_cast<unsigned long long>(hist.percentile(0.50)),
+            static_cast<unsigned long long>(hist.percentile(0.90)),
+            static_cast<unsigned long long>(hist.percentile(0.99)));
+  }
   out += "}";
 
   appendf(out, ", \"dropped_events\": %llu}",
@@ -240,6 +310,21 @@ std::string to_chrome_trace(const TraceReport& report) {
     appendf(out, ", \"ts\": %llu, \"dur\": %llu, \"pid\": 0, \"tid\": %u}",
             static_cast<unsigned long long>(event.start_us),
             static_cast<unsigned long long>(event.dur_us), event.tid);
+  }
+  // Histograms ride along as counter samples so a Perfetto view shows the
+  // percentile summary next to the span rows.
+  for (const HistogramSnapshot& hist : report.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    out += json_escape(hist.name);
+    out += "\", \"cat\": \"fhp\", \"ph\": \"C\", \"ts\": 0, \"pid\": 0";
+    appendf(out, ", \"args\": {\"p50\": %llu, \"p90\": %llu, "
+                 "\"p99\": %llu, \"max\": %llu}}",
+            static_cast<unsigned long long>(hist.percentile(0.50)),
+            static_cast<unsigned long long>(hist.percentile(0.90)),
+            static_cast<unsigned long long>(hist.percentile(0.99)),
+            static_cast<unsigned long long>(hist.max));
   }
   out += "]}";
   return out;

@@ -1,15 +1,21 @@
 /// \file report.hpp
-/// TraceReport — an immutable snapshot of the tracer + counter state — and
-/// its three exporters:
+/// TraceReport — an immutable snapshot of the tracer + counter + histogram
+/// state — and its three exporters:
 ///   - to_tree_string():   human-readable phase tree with percentages;
-///   - to_json():          machine-readable report (spans, counters, gauges);
-///   - to_chrome_trace():  Trace Event Format for chrome://tracing / Perfetto.
+///   - to_json():          machine-readable report (spans, counters,
+///                         gauges, histograms);
+///   - to_chrome_trace():  Trace Event Format for chrome://tracing /
+///                         Perfetto (histograms ride along as counter
+///                         samples).
 ///
 /// A snapshot is plain copyable data, safe to attach to results and ship
 /// across layers; it reflects everything recorded since the last
 /// obs::reset(). All three exporters work on empty reports (producing an
 /// empty tree / valid JSON), so code paths stay identical when tracing is
-/// compiled out.
+/// compiled out. Every snapshot additionally samples the process's
+/// resident-set size (peak + current) at capture time; the exporters list
+/// those alongside the gauges under `process/` names, but they are ambient
+/// environment, not recordings — empty() ignores them.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 
 namespace fhp::obs {
@@ -46,11 +53,18 @@ struct TraceReport {
   /// (FHP_ENABLE_TRACING). When false the report is typically empty.
   bool tracing_compiled = false;
   std::vector<TraceSpan> spans;
-  /// Counters and gauges, sorted by name for stable output.
+  /// Counters, gauges and histograms, sorted by name for stable output.
   std::vector<std::pair<std::string, long long>> counters;
   std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
   std::vector<TraceEvent> events;
   std::uint64_t dropped_events = 0;
+  /// Process resident-set size sampled when the snapshot was taken (0 when
+  /// the platform offers no source). Ambient environment, not a recording:
+  /// exporters render these as `process/peak_rss_bytes` /
+  /// `process/current_rss_bytes` gauges, but empty() ignores them.
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t current_rss_bytes = 0;
   /// Number of threads that recorded spans or events. Under parallel
   /// execution each worker's spans are their own roots, so root_total_ns()
   /// aggregates CPU time across threads, not wall time (see
@@ -65,29 +79,43 @@ struct TraceReport {
   [[nodiscard]] std::uint64_t span_calls(std::string_view name) const;
   /// Counter value by name; 0 when absent.
   [[nodiscard]] long long counter(std::string_view name) const;
-  /// Gauge value by name; 0.0 when absent.
+  /// Gauge value by name; 0.0 when absent. The ambient
+  /// `process/peak_rss_bytes` / `process/current_rss_bytes` names resolve
+  /// to the sampled RSS fields.
   [[nodiscard]] double gauge(std::string_view name) const;
-  /// True when nothing was recorded.
+  /// Histogram by name; nullptr when the site never recorded.
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      std::string_view name) const;
+  /// True when nothing was recorded (the ambient RSS sample is ignored).
   [[nodiscard]] bool empty() const {
-    return spans.empty() && counters.empty() && gauges.empty();
+    return spans.empty() && counters.empty() && gauges.empty() &&
+           histograms.empty();
   }
 };
 
-/// Captures the current tracer + counter state. Spans still open at the
-/// time of the call contribute only their already-completed entries.
+/// Captures the current tracer + counter + histogram state and samples the
+/// process RSS. Spans still open at the time of the call contribute only
+/// their already-completed entries.
 [[nodiscard]] TraceReport snapshot();
 
-/// Resets the tracer and the counter registry (and the event epoch).
+/// Resets the tracer, the counter registry and the histogram registry
+/// (and the event epoch).
 void reset();
 
-/// Renders the phase tree, counters and gauges as human-readable text.
-/// Columns: total ms, % of the root total, % of the parent, call count.
+/// Renders the phase tree, counters, gauges and histograms as
+/// human-readable text. Span columns: total ms, % of the root total, % of
+/// the parent, call count; histogram columns: count, p50/p90/p99, max.
 [[nodiscard]] std::string to_tree_string(const TraceReport& report);
 
 /// Renders the report as a JSON object:
 ///   {"tracing_compiled": bool, "wall_total_ns": int, "threads": int,
 ///    "spans": [{"name", "parent", "total_ns", "calls"}...],
-///    "counters": {...}, "gauges": {...}, "dropped_events": int}
+///    "counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"count", "sum", "min", "max", "mean",
+///                            "p50", "p90", "p99"}...},
+///    "dropped_events": int}
+/// The gauges object includes the ambient process/{peak,current}_rss_bytes
+/// samples when available.
 [[nodiscard]] std::string to_json(const TraceReport& report);
 
 /// Renders the event log in Chrome Trace Event Format ("X" complete

@@ -1,0 +1,306 @@
+#include "util/json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fhp::json {
+
+bool Value::as_bool() const {
+  FHP_REQUIRE(kind_ == Kind::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  FHP_REQUIRE(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  FHP_REQUIRE(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  FHP_REQUIRE(kind_ == Kind::kArray, "JSON value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  FHP_REQUIRE(kind_ == Kind::kObject, "JSON value is not an object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  FHP_REQUIRE(kind_ == Kind::kObject, "JSON value is not an object");
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const Value* Value::find_path(
+    std::initializer_list<std::string_view> keys) const {
+  const Value* node = this;
+  for (const std::string_view key : keys) {
+    if (node == nullptr || node->kind_ != Kind::kObject) return nullptr;
+    node = node->find(key);
+  }
+  return node;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* member = find(key);
+  return member != nullptr && member->is_number() ? member->number_
+                                                  : fallback;
+}
+
+/// Recursive-descent parser over the input span. Depth is bounded so a
+/// pathological "[[[[..." input fails cleanly instead of overflowing the
+/// stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value root = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw IoError("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                  what);
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input");
+    Value out;
+    switch (peek()) {
+      case '{':
+        parse_object(out, depth);
+        break;
+      case '[':
+        parse_array(out, depth);
+        break;
+      case '"':
+        out.kind_ = Value::Kind::kString;
+        out.string_ = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        out.kind_ = Value::Kind::kBool;
+        out.bool_ = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        out.kind_ = Value::Kind::kBool;
+        out.bool_ = false;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        out.kind_ = Value::Kind::kNull;
+        break;
+      default:
+        out.kind_ = Value::Kind::kNumber;
+        out.number_ = parse_number();
+        break;
+    }
+    return out;
+  }
+
+  void parse_object(Value& out, int depth) {
+    out.kind_ = Value::Kind::kObject;
+    expect('{');
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      out.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(Value& out, int depth) {
+    out.kind_ = Value::Kind::kArray;
+    expect('[');
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      out.items_.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u':
+          append_utf8(out, parse_hex4());
+          break;
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  /// Encodes a BMP code point as UTF-8. Surrogate halves (which our own
+  /// emitters never produce) degrade to U+FFFD rather than failing.
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                         peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                         peek() == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse(buffer.str());
+  } catch (const IoError& e) {
+    throw IoError(path + ": " + e.what());
+  }
+}
+
+}  // namespace fhp::json

@@ -1,0 +1,79 @@
+/// \file json.hpp
+/// Minimal read-only JSON parser for the tooling layer (benchdiff, ledger
+/// queries). Parses a complete document into an immutable Value tree;
+/// object member order is preserved (BENCH_*.json series are recorded in
+/// first-measured order and reports should render them the same way).
+///
+/// Scope: full JSON syntax (objects, arrays, strings with escapes,
+/// numbers, true/false/null). Numbers are stored as double — counters in
+/// run reports stay well under 2^53, so round-tripping is exact for every
+/// value the harness emits. Malformed input throws fhp::IoError with the
+/// byte offset of the problem. This is a reader for our own artifacts, not
+/// a general-purpose serialization layer: no writer, no mutation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fhp::json {
+
+/// One JSON value; a tagged tree node.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Value accessors; each requires the matching kind (FHP_REQUIRE).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// Array elements in document order.
+  [[nodiscard]] const std::vector<Value>& items() const;
+  /// Object members in document order (duplicate keys keep every entry).
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;
+
+  /// First member named \p key of an object; nullptr when absent. Requires
+  /// an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// find() chained over several keys, tolerating absence at any level:
+  /// nullptr as soon as a key is missing or the node is not an object.
+  [[nodiscard]] const Value* find_path(
+      std::initializer_list<std::string_view> keys) const;
+
+  /// Number member \p key of an object; \p fallback when absent or not a
+  /// number. Requires an object.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses \p text as one complete JSON document (trailing whitespace
+/// allowed, trailing content not). Throws fhp::IoError on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Reads and parses the JSON file at \p path. Throws fhp::IoError when the
+/// file cannot be read or does not parse.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace fhp::json

@@ -1,0 +1,59 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace fhp {
+
+namespace {
+
+/// Reads the "<key>:  <n> kB" line of /proc/self/status; 0 when absent
+/// (non-Linux, or a kernel without the field).
+std::uint64_t proc_status_kb(const char* key) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len + 1, " %llu", &value) == 1) {
+        kb = value;
+      }
+      break;
+    }
+  }
+  std::fclose(file);
+  return kb;
+}
+
+std::uint64_t getrusage_peak_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ULL;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024ULL; }
+
+std::uint64_t peak_rss_bytes() {
+  const std::uint64_t hwm = proc_status_kb("VmHWM") * 1024ULL;
+  return hwm != 0 ? hwm : getrusage_peak_bytes();
+}
+
+}  // namespace fhp

@@ -1,0 +1,25 @@
+/// \file memory.hpp
+/// Process memory accounting: current and peak resident-set size.
+///
+/// The scale roadmap (million-module ingest, partition-as-a-service) gates
+/// on peak RSS the same way the kernel work gates on edge scans, so the
+/// sampler lives in util where both the observability layer and the bench
+/// harness can reach it. On Linux the values come from /proc/self/status
+/// (VmRSS / VmHWM, page-granular and cheap to read); elsewhere peak RSS
+/// falls back to getrusage(RUSAGE_SELF) and current RSS reads 0 when no
+/// source exists. Both functions return 0 rather than failing when the
+/// platform offers nothing — callers treat 0 as "unavailable".
+#pragma once
+
+#include <cstdint>
+
+namespace fhp {
+
+/// Bytes of the process's current resident set; 0 when unavailable.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+/// Bytes of the process's peak (high-water-mark) resident set; 0 when
+/// unavailable. Monotone over the process lifetime.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace fhp

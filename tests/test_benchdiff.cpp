@@ -1,0 +1,190 @@
+/// Perf-regression sentinel (tools/benchdiff_core): identical reports
+/// pass, a synthetic 2x slowdown fails naming the offending metric, cut
+/// and counter drifts gate exactly, gates can be downgraded to advisory,
+/// and coverage changes (missing/new labels) are handled per spec.
+#include "benchdiff_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace fhp {
+namespace {
+
+using benchdiff::DiffResult;
+using benchdiff::Entry;
+using benchdiff::Options;
+using benchdiff::Status;
+
+/// Minimal but structurally faithful BENCH_*.json document.
+std::string make_report(double alg1_min_seconds, double alg1_cut_median,
+                        long long edges_scanned, bool tracing = true) {
+  std::string json = "{\"bench\": \"synthetic\", \"env\": {";
+  json += "\"git_sha\": \"abc\", \"tracing_compiled\": ";
+  json += tracing ? "true" : "false";
+  json += "}, \"peak_rss_bytes\": 104857600, \"series\": {";
+  json += "\"alg1\": {\"runs\": 5, \"seconds\": {\"mean\": " +
+          std::to_string(alg1_min_seconds * 1.1) +
+          ", \"median\": " + std::to_string(alg1_min_seconds * 1.05) +
+          ", \"min\": " + std::to_string(alg1_min_seconds) +
+          ", \"max\": " + std::to_string(alg1_min_seconds * 1.3) +
+          "}, \"cut\": {\"mean\": " + std::to_string(alg1_cut_median) +
+          ", \"median\": " + std::to_string(alg1_cut_median) +
+          ", \"min\": " + std::to_string(alg1_cut_median) +
+          ", \"max\": " + std::to_string(alg1_cut_median) + "}}";
+  json += "}, \"trace\": {\"counters\": {\"bfs/edges_scanned\": " +
+          std::to_string(edges_scanned) + "}}}";
+  return json;
+}
+
+const Entry* find_entry(const DiffResult& result, const std::string& metric) {
+  for (const Entry& e : result.entries) {
+    if (e.metric == metric) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Benchdiff, IdenticalReportsPass) {
+  const json::Value report = json::parse(make_report(0.5, 42, 100000));
+  const DiffResult result = benchdiff::diff(report, report, Options{});
+  EXPECT_FALSE(result.regressed);
+  EXPECT_TRUE(result.regressions().empty());
+  const Entry* time = find_entry(result, "series/alg1/seconds.min");
+  ASSERT_NE(time, nullptr);
+  EXPECT_EQ(time->status, Status::kOk);
+}
+
+TEST(Benchdiff, SyntheticTwoXSlowdownFailsNamingTheMetric) {
+  const json::Value baseline = json::parse(make_report(0.5, 42, 100000));
+  const json::Value slower = json::parse(make_report(1.0, 42, 100000));
+  const DiffResult result = benchdiff::diff(baseline, slower, Options{});
+  EXPECT_TRUE(result.regressed);
+  const Entry* time = find_entry(result, "series/alg1/seconds.min");
+  ASSERT_NE(time, nullptr);
+  EXPECT_EQ(time->status, Status::kRegressed);
+  // The markdown report names the offending metric and verdict.
+  const std::string md =
+      benchdiff::to_markdown(result, "baseline.json", "current.json");
+  EXPECT_NE(md.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(md.find("series/alg1/seconds.min"), std::string::npos);
+}
+
+TEST(Benchdiff, SlowdownWithinToleranceIsOk) {
+  const json::Value baseline = json::parse(make_report(0.5, 42, 100000));
+  const json::Value current = json::parse(make_report(0.6, 42, 100000));
+  EXPECT_FALSE(benchdiff::diff(baseline, current, Options{}).regressed);
+}
+
+TEST(Benchdiff, SpeedupIsReportedAsImprovement) {
+  const json::Value baseline = json::parse(make_report(1.0, 42, 100000));
+  const json::Value current = json::parse(make_report(0.4, 42, 100000));
+  const DiffResult result = benchdiff::diff(baseline, current, Options{});
+  EXPECT_FALSE(result.regressed);
+  const Entry* time = find_entry(result, "series/alg1/seconds.min");
+  ASSERT_NE(time, nullptr);
+  EXPECT_EQ(time->status, Status::kImproved);
+}
+
+TEST(Benchdiff, CutIncreaseIsExactRegression) {
+  const json::Value baseline = json::parse(make_report(0.5, 42, 100000));
+  const json::Value worse = json::parse(make_report(0.5, 43, 100000));
+  const DiffResult result = benchdiff::diff(baseline, worse, Options{});
+  EXPECT_TRUE(result.regressed);
+  const Entry* cut = find_entry(result, "series/alg1/cut.median");
+  ASSERT_NE(cut, nullptr);
+  EXPECT_EQ(cut->status, Status::kRegressed);
+}
+
+TEST(Benchdiff, CounterDriftIsExactRegression) {
+  const json::Value baseline = json::parse(make_report(0.5, 42, 100000));
+  const json::Value drifted = json::parse(make_report(0.5, 42, 100001));
+  const DiffResult result = benchdiff::diff(baseline, drifted, Options{});
+  EXPECT_TRUE(result.regressed);
+  const Entry* counter = find_entry(result, "counter/bfs/edges_scanned");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->status, Status::kRegressed);
+}
+
+TEST(Benchdiff, CounterGateSkippedWithoutTracing) {
+  // Counter drift must not gate when either side lacks compiled tracing —
+  // an OFF build legitimately reports no instrumentation work.
+  const json::Value baseline = json::parse(make_report(0.5, 42, 100000));
+  const json::Value untraced =
+      json::parse(make_report(0.5, 42, 0, /*tracing=*/false));
+  const DiffResult result = benchdiff::diff(baseline, untraced, Options{});
+  EXPECT_FALSE(result.regressed);
+  ASSERT_FALSE(result.notes.empty());
+}
+
+TEST(Benchdiff, DisabledGatesDowngradeToAdvisory) {
+  Options options;
+  options.gate_time = false;
+  options.gate_counters = false;
+  options.gate_quality = false;
+  const json::Value baseline = json::parse(make_report(0.5, 42, 100000));
+  const json::Value worse = json::parse(make_report(2.0, 50, 99999));
+  const DiffResult result = benchdiff::diff(baseline, worse, options);
+  EXPECT_FALSE(result.regressed);
+  const Entry* time = find_entry(result, "series/alg1/seconds.min");
+  ASSERT_NE(time, nullptr);
+  EXPECT_EQ(time->status, Status::kAdvisory);
+}
+
+TEST(Benchdiff, MissingSeriesLabelRegresses) {
+  const json::Value baseline = json::parse(
+      R"({"env": {"tracing_compiled": true}, "series": {"alg1": {}, "fm": {}},
+          "trace": {"counters": {}}})");
+  const json::Value current = json::parse(
+      R"({"env": {"tracing_compiled": true}, "series": {"alg1": {}},
+          "trace": {"counters": {}}})");
+  const DiffResult result = benchdiff::diff(baseline, current, Options{});
+  EXPECT_TRUE(result.regressed);
+  const Entry* missing = find_entry(result, "series/fm");
+  ASSERT_NE(missing, nullptr);
+  EXPECT_EQ(missing->status, Status::kRegressed);
+}
+
+TEST(Benchdiff, NewSeriesLabelIsANoteNotAFailure) {
+  const json::Value baseline = json::parse(
+      R"({"series": {"alg1": {}}, "trace": {"counters": {}}})");
+  const json::Value current = json::parse(
+      R"({"series": {"alg1": {}, "brand_new": {}},
+          "trace": {"counters": {}}})");
+  const DiffResult result = benchdiff::diff(baseline, current, Options{});
+  EXPECT_FALSE(result.regressed);
+  bool noted = false;
+  for (const std::string& note : result.notes) {
+    noted = noted || note.find("brand_new") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Benchdiff, RssGrowthIsAdvisoryOnly) {
+  const std::string big = R"({"env": {"tracing_compiled": true},
+      "peak_rss_bytes": 999999999999, "series": {"alg1": {}},
+      "trace": {"counters": {"bfs/edges_scanned": 100000}}})";
+  const std::string small_series =
+      R"({"env": {"tracing_compiled": true}, "peak_rss_bytes": 1000,
+          "series": {"alg1": {}},
+          "trace": {"counters": {"bfs/edges_scanned": 100000}}})";
+  const DiffResult result = benchdiff::diff(
+      json::parse(small_series), json::parse(big), Options{});
+  EXPECT_FALSE(result.regressed);
+  const Entry* rss = find_entry(result, "peak_rss_bytes");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_EQ(rss->status, Status::kAdvisory);
+}
+
+TEST(Benchdiff, NonReportDocumentThrows) {
+  const json::Value not_a_report = json::parse(R"({"hello": 1})");
+  EXPECT_THROW(
+      static_cast<void>(
+          benchdiff::diff(not_a_report, not_a_report, Options{})),
+      IoError);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,86 @@
+/// JSON reader (util/json): syntax coverage, member-order preservation,
+/// navigation helpers, error reporting, and a round-trip through the run
+/// reports our own exporters emit.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/report.hpp"
+#include "util/error.hpp"
+
+namespace fhp {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const json::Value v = json::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3U);
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3U);
+  EXPECT_DOUBLE_EQ(a->items()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->items()[2].find("b")->as_bool());
+  EXPECT_TRUE(v.find_path({"c", "d"})->is_null());
+  EXPECT_EQ(v.find_path({"c", "missing"}), nullptr);
+  EXPECT_EQ(v.find_path({"e", "not_an_object"}), nullptr);
+}
+
+TEST(Json, PreservesMemberOrder) {
+  const json::Value v = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3U);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Json, DecodesStringEscapes) {
+  const json::Value v =
+      json::parse(R"("line\nquote\"slash\\u: é")");
+  EXPECT_EQ(v.as_string(), "line\nquote\"slash\\u: \xc3\xa9");
+}
+
+TEST(Json, NumberOrFallsBack) {
+  const json::Value v = json::parse(R"({"n": 7, "s": "x"})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", -1.0), 7.0);
+  EXPECT_DOUBLE_EQ(v.number_or("s", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", -1.0), -1.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(static_cast<void>(json::parse("")), IoError);
+  EXPECT_THROW(static_cast<void>(json::parse("{")), IoError);
+  EXPECT_THROW(static_cast<void>(json::parse("[1, 2,]")), IoError);
+  EXPECT_THROW(static_cast<void>(json::parse("{\"a\" 1}")), IoError);
+  EXPECT_THROW(static_cast<void>(json::parse("tru")), IoError);
+  EXPECT_THROW(static_cast<void>(json::parse("1 2")), IoError);
+  EXPECT_THROW(static_cast<void>(json::parse("\"unterminated")), IoError);
+}
+
+TEST(Json, ReadsOwnExporterOutput) {
+  // The parser's real contract: whatever obs::to_json emits must read
+  // back, including escaped names and the histogram section.
+  obs::reset();
+  obs::Counters::instance().add("json/\"tricky\\name\"", 3);
+  const std::string text = obs::to_json(obs::snapshot());
+  obs::reset();
+  const json::Value v = json::parse(text);
+  const json::Value* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("json/\"tricky\\name\"", -1.0), 3.0);
+}
+
+}  // namespace
+}  // namespace fhp

@@ -1,0 +1,106 @@
+/// \file benchdiff.cpp
+/// CLI over benchdiff_core: compare a fresh BENCH_*.json against a
+/// committed baseline. See docs/observability.md for the workflow.
+///
+///   benchdiff [options] <baseline.json> <current.json>
+///     --report FILE        also write the markdown delta report to FILE
+///     --time-tolerance X   wall-time ratio gate (default 1.5)
+///     --no-time-gate       wall-time deltas advisory (cross-machine CI)
+///     --no-counter-gate    counter drift advisory
+///     --no-quality-gate    cut deltas advisory
+///
+/// Exit codes: 0 = within tolerance, 1 = regression, 2 = usage/io error.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "benchdiff_core.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--report FILE] [--time-tolerance X] "
+               "[--no-time-gate] [--no-counter-gate] [--no-quality-gate] "
+               "<baseline.json> <current.json>\n",
+               argv0);
+  return 2;
+}
+
+/// Trailing path component, for readable report headings.
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fhp::benchdiff::Options options;
+  std::string report_path;
+  std::string baseline_path;
+  std::string current_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report") {
+      if (++i >= argc) return usage(argv[0]);
+      report_path = argv[i];
+    } else if (arg == "--time-tolerance") {
+      if (++i >= argc) return usage(argv[0]);
+      options.time_tolerance = std::strtod(argv[i], nullptr);
+      if (options.time_tolerance <= 1.0) {
+        std::fprintf(stderr, "benchdiff: --time-tolerance must be > 1\n");
+        return 2;
+      }
+    } else if (arg == "--no-time-gate") {
+      options.gate_time = false;
+    } else if (arg == "--no-counter-gate") {
+      options.gate_counters = false;
+    } else if (arg == "--no-quality-gate") {
+      options.gate_quality = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return usage(argv[0]);
+
+  try {
+    const fhp::json::Value baseline = fhp::json::parse_file(baseline_path);
+    const fhp::json::Value current = fhp::json::parse_file(current_path);
+    const fhp::benchdiff::DiffResult result =
+        fhp::benchdiff::diff(baseline, current, options);
+    const std::string markdown = fhp::benchdiff::to_markdown(
+        result, basename_of(baseline_path), basename_of(current_path));
+    std::fputs(markdown.c_str(), stdout);
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      if (!out) {
+        std::fprintf(stderr, "benchdiff: cannot write report %s\n",
+                     report_path.c_str());
+        return 2;
+      }
+      out << markdown;
+    }
+    if (result.regressed) {
+      for (const fhp::benchdiff::Entry* e : result.regressions()) {
+        std::fprintf(stderr, "benchdiff: regression in %s (%s)\n",
+                     e->metric.c_str(), e->detail.c_str());
+      }
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "benchdiff: %s\n", err.what());
+    return 2;
+  }
+}

@@ -1,0 +1,255 @@
+#include "benchdiff_core.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace fhp::benchdiff {
+
+namespace {
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return std::string(buffer);
+}
+
+std::string format_ratio(double baseline, double current) {
+  if (baseline <= 0.0) return "n/a";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2fx", current / baseline);
+  return std::string(buffer);
+}
+
+const char* status_label(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kImproved: return "improved";
+    case Status::kRegressed: return "REGRESSED";
+    case Status::kAdvisory: return "advisory";
+  }
+  return "?";
+}
+
+/// Pushes one ratio-gated wall-time entry. Minima never regress by
+/// accident below the tolerance, so anything above it is flagged; a
+/// symmetric improvement margin keeps the report from celebrating noise.
+void diff_time(const std::string& label, double base, double cur,
+               const Options& options, DiffResult& out) {
+  Entry e;
+  e.metric = "series/" + label + "/seconds.min";
+  e.baseline = base;
+  e.current = cur;
+  e.detail = format_ratio(base, cur);
+  if (base > 0.0 && cur > base * options.time_tolerance) {
+    e.status = options.gate_time ? Status::kRegressed : Status::kAdvisory;
+  } else if (base > 0.0 && cur < base / options.time_tolerance) {
+    e.status = Status::kImproved;
+  } else {
+    e.status = Status::kOk;
+  }
+  out.entries.push_back(std::move(e));
+}
+
+/// Pushes one exact quality entry (cut medians; deterministic given the
+/// seeds the benches hard-code).
+void diff_quality(const std::string& label, double base, double cur,
+                  const Options& options, DiffResult& out) {
+  Entry e;
+  e.metric = "series/" + label + "/cut.median";
+  e.baseline = base;
+  e.current = cur;
+  if (cur > base) {
+    e.status = options.gate_quality ? Status::kRegressed : Status::kAdvisory;
+    e.detail = "+" + format_double(cur - base);
+  } else if (cur < base) {
+    e.status = Status::kImproved;
+    e.detail = format_double(cur - base);
+  } else {
+    e.status = Status::kOk;
+    e.detail = "=";
+  }
+  out.entries.push_back(std::move(e));
+}
+
+void diff_series(const json::Value& baseline, const json::Value& current,
+                 const Options& options, DiffResult& out) {
+  const json::Value* base_series = baseline.find("series");
+  const json::Value* cur_series = current.find("series");
+  if (base_series == nullptr || !base_series->is_object() ||
+      cur_series == nullptr || !cur_series->is_object()) {
+    throw IoError("benchdiff: document is not a run report (no \"series\")");
+  }
+  for (const auto& [label, base_entry] : base_series->members()) {
+    const json::Value* cur_entry = cur_series->find(label);
+    if (cur_entry == nullptr) {
+      Entry e;
+      e.metric = "series/" + label;
+      e.status = Status::kRegressed;  // dropped coverage must not pass
+      e.detail = "label missing from current report";
+      out.entries.push_back(std::move(e));
+      continue;
+    }
+    const json::Value* base_sec = base_entry.find_path({"seconds"});
+    const json::Value* cur_sec = cur_entry->find_path({"seconds"});
+    if (base_sec != nullptr && base_sec->is_object() && cur_sec != nullptr &&
+        cur_sec->is_object()) {
+      diff_time(label, base_sec->number_or("min", 0.0),
+                cur_sec->number_or("min", 0.0), options, out);
+    }
+    const json::Value* base_cut = base_entry.find_path({"cut"});
+    const json::Value* cur_cut = cur_entry->find_path({"cut"});
+    if (base_cut != nullptr && base_cut->is_object() && cur_cut != nullptr &&
+        cur_cut->is_object()) {
+      diff_quality(label, base_cut->number_or("median", 0.0),
+                   cur_cut->number_or("median", 0.0), options, out);
+    }
+  }
+  for (const auto& [label, entry] : cur_series->members()) {
+    static_cast<void>(entry);
+    if (base_series->find(label) == nullptr) {
+      out.notes.push_back("new series label \"" + label +
+                          "\" has no baseline (run the baseline-update "
+                          "recipe in docs/observability.md)");
+    }
+  }
+}
+
+void diff_counters(const json::Value& baseline, const json::Value& current,
+                   const Options& options, DiffResult& out) {
+  const json::Value* base_traced =
+      baseline.find_path({"env", "tracing_compiled"});
+  const json::Value* cur_traced =
+      current.find_path({"env", "tracing_compiled"});
+  const bool both_traced = base_traced != nullptr && base_traced->is_bool() &&
+                           base_traced->as_bool() && cur_traced != nullptr &&
+                           cur_traced->is_bool() && cur_traced->as_bool();
+  if (!both_traced) {
+    out.notes.push_back(
+        "counter gate skipped: tracing not compiled into both reports");
+    return;
+  }
+  const json::Value* base_counters =
+      baseline.find_path({"trace", "counters"});
+  const json::Value* cur_counters = current.find_path({"trace", "counters"});
+  if (base_counters == nullptr || !base_counters->is_object() ||
+      cur_counters == nullptr || !cur_counters->is_object()) {
+    return;
+  }
+  for (const auto& [name, base_value] : base_counters->members()) {
+    if (!base_value.is_number()) continue;
+    const json::Value* cur_value = cur_counters->find(name);
+    if (cur_value == nullptr || !cur_value->is_number()) {
+      out.notes.push_back("counter \"" + name +
+                          "\" absent from current report");
+      continue;
+    }
+    // Unchanged counters are the common case; recording hundreds of "="
+    // rows would bury the signal, so only drifts become entries.
+    if (base_value.as_number() == cur_value->as_number()) continue;
+    Entry e;
+    e.metric = "counter/" + name;
+    e.baseline = base_value.as_number();
+    e.current = cur_value->as_number();
+    e.status = options.gate_counters ? Status::kRegressed : Status::kAdvisory;
+    e.detail = (e.current > e.baseline ? "+" : "") +
+               format_double(e.current - e.baseline) + " (exact gate)";
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, value] : cur_counters->members()) {
+    static_cast<void>(value);
+    if (base_counters->find(name) == nullptr) {
+      out.notes.push_back("counter \"" + name + "\" is new (no baseline)");
+    }
+  }
+}
+
+void diff_rss(const json::Value& baseline, const json::Value& current,
+              DiffResult& out) {
+  const json::Value* base_rss = baseline.find("peak_rss_bytes");
+  const json::Value* cur_rss = current.find("peak_rss_bytes");
+  if (base_rss == nullptr || !base_rss->is_number() || cur_rss == nullptr ||
+      !cur_rss->is_number()) {
+    return;
+  }
+  Entry e;
+  e.metric = "peak_rss_bytes";
+  e.baseline = base_rss->as_number();
+  e.current = cur_rss->as_number();
+  e.detail = format_ratio(e.baseline, e.current);
+  // Never gated: allocator arenas and kernel page accounting differ
+  // across hosts. Large growth is still worth a visible advisory row.
+  if (e.baseline > 0.0 && e.current > e.baseline * 1.5) {
+    e.status = Status::kAdvisory;
+  } else if (e.baseline > 0.0 && e.current < e.baseline / 1.5) {
+    e.status = Status::kImproved;
+  } else {
+    e.status = Status::kOk;
+  }
+  out.entries.push_back(std::move(e));
+}
+
+}  // namespace
+
+std::vector<const Entry*> DiffResult::regressions() const {
+  std::vector<const Entry*> out;
+  for (const Entry& e : entries) {
+    if (e.status == Status::kRegressed) out.push_back(&e);
+  }
+  return out;
+}
+
+DiffResult diff(const json::Value& baseline, const json::Value& current,
+                const Options& options) {
+  if (!baseline.is_object() || !current.is_object()) {
+    throw IoError("benchdiff: run reports must be JSON objects");
+  }
+  DiffResult out;
+  diff_series(baseline, current, options, out);
+  diff_counters(baseline, current, options, out);
+  diff_rss(baseline, current, out);
+  if (!options.gate_time) {
+    out.notes.push_back("wall-time gate disabled (--no-time-gate): timing "
+                        "rows are advisory");
+  }
+  for (const Entry& e : out.entries) {
+    if (e.status == Status::kRegressed) {
+      out.regressed = true;
+      break;
+    }
+  }
+  return out;
+}
+
+std::string to_markdown(const DiffResult& result,
+                        const std::string& baseline_name,
+                        const std::string& current_name) {
+  std::string md = "# benchdiff: " + current_name + " vs " + baseline_name +
+                   "\n\n";
+  md += result.regressed
+            ? "**Verdict: REGRESSED** — at least one gated metric moved "
+              "outside tolerance.\n\n"
+            : "**Verdict: ok** — every gated metric within tolerance.\n\n";
+  if (!result.entries.empty()) {
+    md += "| metric | baseline | current | delta | status |\n";
+    md += "|---|---:|---:|---:|---|\n";
+    for (const Entry& e : result.entries) {
+      md += "| `" + e.metric + "` | " + format_double(e.baseline) + " | " +
+            format_double(e.current) + " | " + e.detail + " | " +
+            status_label(e.status) + " |\n";
+    }
+    md += "\n";
+  }
+  if (!result.notes.empty()) {
+    md += "## Notes\n\n";
+    for (const std::string& note : result.notes) {
+      md += "- " + note + "\n";
+    }
+    md += "\n";
+  }
+  return md;
+}
+
+}  // namespace fhp::benchdiff

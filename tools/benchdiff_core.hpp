@@ -1,0 +1,91 @@
+/// \file benchdiff_core.hpp
+/// Perf-regression sentinel: compares a freshly produced BENCH_<name>.json
+/// run report against a committed baseline (bench/baselines/) and decides
+/// whether the change regressed.
+///
+/// Comparison rules (noise-aware by construction):
+///   - *Wall time*: per series label, `seconds.min` — the min-of-k
+///     estimator measure() records — gated by a multiplicative tolerance
+///     (default 1.5x). Minima are the least-noisy wall observation, but
+///     they still move across machines, so the gate can be downgraded to
+///     advisory (`gate_time = false`) for cross-machine CI while counters
+///     carry the regression signal.
+///   - *Quality*: per series label, `cut.median` must not increase.
+///     Cuts are deterministic given the seeds the bench hard-codes, so
+///     this is an exact gate.
+///   - *Counters*: exact equality, but only when BOTH reports were
+///     produced with tracing compiled in (`env.tracing_compiled`).
+///     Work counters ("bfs/edges_scanned", "workspace/grows", ...) are
+///     deterministic — the pool's chunk decomposition depends only on
+///     (n, grain) — so any drift is a real algorithmic change, on any
+///     machine. Counters present on one side only are reported as notes,
+///     not failures (instrumentation legitimately moves between commits).
+///   - *Peak RSS*: advisory only; reported, never gated (allocator and
+///     kernel page accounting differ across hosts).
+///   - A baseline series label missing from the current report is a
+///     regression (a bench silently dropping coverage must not pass);
+///     labels only in the current report are notes.
+///
+/// The library surface is exercised directly by tests/test_benchdiff.cpp;
+/// tools/benchdiff.cpp is the thin CLI over it (exit 0 = ok,
+/// 1 = regression, 2 = usage/io error).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace fhp::benchdiff {
+
+/// Gate configuration. Defaults match the local workflow: everything on,
+/// 1.5x wall-time headroom (well under the 2x an accidental complexity
+/// regression typically costs, well over run-to-run min-of-k noise).
+struct Options {
+  double time_tolerance = 1.5;  ///< fail when current > baseline * tol
+  bool gate_time = true;        ///< false: wall-time deltas are advisory
+  bool gate_counters = true;    ///< false: counter drift is advisory
+  bool gate_quality = true;     ///< false: cut deltas are advisory
+};
+
+/// Verdict for one compared metric.
+enum class Status {
+  kOk,        ///< within tolerance / unchanged
+  kImproved,  ///< better than baseline (informational)
+  kRegressed, ///< outside tolerance — fails the diff when its gate is on
+  kAdvisory,  ///< outside tolerance but its gate is off (or never gated)
+};
+
+/// One compared metric, e.g. "series/alg1/seconds.min".
+struct Entry {
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  Status status = Status::kOk;
+  std::string detail;  ///< human-readable delta, e.g. "1.07x"
+};
+
+/// Full comparison outcome. `regressed` is true iff any entry carries
+/// Status::kRegressed — the CLI's exit-1 condition.
+struct DiffResult {
+  std::vector<Entry> entries;
+  std::vector<std::string> notes;  ///< coverage changes, skipped gates
+  bool regressed = false;
+
+  /// The entries that caused failure, in report order.
+  [[nodiscard]] std::vector<const Entry*> regressions() const;
+};
+
+/// Compares two parsed BENCH_*.json documents. Throws fhp::IoError when a
+/// document is structurally not a run report (no "series" object).
+[[nodiscard]] DiffResult diff(const json::Value& baseline,
+                              const json::Value& current,
+                              const Options& options);
+
+/// Renders the comparison as a markdown delta report (table of metrics,
+/// then notes) suitable for a CI artifact or PR comment.
+[[nodiscard]] std::string to_markdown(const DiffResult& result,
+                                      const std::string& baseline_name,
+                                      const std::string& current_name);
+
+}  // namespace fhp::benchdiff

@@ -8,6 +8,9 @@
 ///   netlist_tool [options] <input>
 ///     --format hmetis|netlist     input format        (default hmetis)
 ///     --algorithm alg1|fm|kl|sa|random                (default alg1)
+///     --engine flat|multilevel|auto   alg1 engine routing (default auto:
+///                                 multilevel V-cycle at scale, flat below)
+///     --flat                      shorthand for --engine flat
 ///     --starts N                  Alg I start budget  (default 50)
 ///     --threads N                 Alg I execution lanes (default serial)
 ///     --threshold K               ignore nets with > K pins; 0 = keep all
@@ -42,6 +45,7 @@
 #include "hypergraph/bookshelf.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
+#include "multilevel/engine.hpp"
 #include "obs/report.hpp"
 #include "partition/report.hpp"
 #include "util/memory.hpp"
@@ -55,6 +59,7 @@ struct CliOptions {
   std::string input;
   std::string format = "hmetis";
   std::string algorithm = "alg1";
+  std::string engine = "auto";
   std::string completion = "greedy";
   std::string objective = "cut";
   std::string output;
@@ -84,6 +89,11 @@ void print_usage() {
       "  --format hmetis|netlist|bookshelf   (default hmetis; bookshelf\n"
       "                            takes the .nodes file, .nets beside it)\n"
       "  --algorithm alg1|fm|kl|sa|flow|multilevel|spectral|random\n"
+      "  --engine flat|multilevel|auto  alg1 engine routing (default auto:\n"
+      "                            instances with >= 2000 modules run the\n"
+      "                            multilevel V-cycle, smaller ones flat\n"
+      "                            Algorithm I; see docs/multilevel.md)\n"
+      "  --flat                    shorthand for --engine flat\n"
       "  --starts N                Alg I multi-start budget (default 50)\n"
       "  --threads N               Alg I execution lanes (default: the\n"
       "                            FHP_THREADS env var, else serial); the\n"
@@ -124,6 +134,10 @@ CliOptions parse(int argc, char** argv) {
       options.format = value();
     } else if (arg == "--algorithm") {
       options.algorithm = value();
+    } else if (arg == "--engine") {
+      options.engine = value();
+    } else if (arg == "--flat") {
+      options.engine = "flat";
     } else if (arg == "--completion") {
       options.completion = value();
     } else if (arg == "--objective") {
@@ -168,7 +182,16 @@ CliOptions parse(int argc, char** argv) {
   return options;
 }
 
-std::vector<std::uint8_t> run(const CliOptions& cli, const Hypergraph& h) {
+/// What partitioned the input: the sides plus the engine that produced
+/// them ("flat" / "multilevel" for the alg1 path, the baseline's name
+/// otherwise) and the hierarchy depth (0 off the multilevel path).
+struct RunResult {
+  std::vector<std::uint8_t> sides;
+  std::string engine;
+  int ml_levels = 0;
+};
+
+RunResult run(const CliOptions& cli, const Hypergraph& h) {
   if (cli.algorithm == "alg1") {
     Algorithm1Options options;
     options.num_starts = cli.starts;
@@ -188,40 +211,50 @@ std::vector<std::uint8_t> run(const CliOptions& cli, const Hypergraph& h) {
     } else if (cli.objective != "cut") {
       usage_error("unknown objective " + cli.objective);
     }
-    return algorithm1(h, options).sides;
+    ml::PartitionPlan plan;
+    plan.algorithm1 = options;
+    if (cli.engine == "flat") {
+      plan.engine = ml::EngineChoice::kFlat;
+    } else if (cli.engine == "multilevel") {
+      plan.engine = ml::EngineChoice::kMultilevel;
+    } else if (cli.engine != "auto") {
+      usage_error("unknown engine " + cli.engine);
+    }
+    ml::EngineResult r = ml::partition_auto(h, plan);
+    return {std::move(r.sides), ml::to_string(r.engine_used), r.levels};
   }
   if (cli.algorithm == "fm") {
     FmOptions options;
     options.seed = cli.seed;
-    return fiduccia_mattheyses(h, options).sides;
+    return {fiduccia_mattheyses(h, options).sides, cli.algorithm};
   }
   if (cli.algorithm == "kl") {
     KlOptions options;
     options.seed = cli.seed;
-    return kernighan_lin(h, options).sides;
+    return {kernighan_lin(h, options).sides, cli.algorithm};
   }
   if (cli.algorithm == "sa") {
     SaOptions options;
     options.seed = cli.seed;
-    return simulated_annealing(h, options).sides;
+    return {simulated_annealing(h, options).sides, cli.algorithm};
   }
   if (cli.algorithm == "random") {
-    return random_bisection(h, cli.seed).sides;
+    return {random_bisection(h, cli.seed).sides, cli.algorithm};
   }
   if (cli.algorithm == "flow") {
     FlowOptions options;
     options.seed = cli.seed;
-    return flow_bipartition(h, options).sides;
+    return {flow_bipartition(h, options).sides, cli.algorithm};
   }
   if (cli.algorithm == "multilevel") {
     MultilevelOptions options;
     options.seed = cli.seed;
-    return multilevel_bipartition(h, options).sides;
+    return {multilevel_bipartition(h, options).sides, cli.algorithm};
   }
   if (cli.algorithm == "spectral") {
     SpectralOptions options;
     options.seed = cli.seed;
-    return spectral_bipartition(h, options).sides;
+    return {spectral_bipartition(h, options).sides, cli.algorithm};
   }
   usage_error("unknown algorithm " + cli.algorithm);
 }
@@ -285,11 +318,17 @@ std::string metrics_prelude(const CliOptions& cli, double seconds) {
   return json;
 }
 
-/// Writes the --metrics-out document for the bipartition path.
+/// Writes the --metrics-out document for the bipartition path. \p engine
+/// is what actually partitioned ("flat"/"multilevel" for alg1, the
+/// baseline name otherwise); \p ml_levels the hierarchy depth (0 off the
+/// multilevel path).
 bool write_metrics_file(const CliOptions& cli, const PartitionMetrics& m,
-                        double seconds) {
+                        double seconds, const std::string& engine,
+                        int ml_levels) {
   if (cli.metrics_path.empty()) return true;
   std::string json = metrics_prelude(cli, seconds);
+  json += ", \"engine\": \"" + obs::json_escape(engine) + "\"";
+  json += ", \"ml_levels\": " + std::to_string(ml_levels);
   char buffer[64];
   json += ", \"metrics\": {\"cut_edges\": " + std::to_string(m.cut_edges);
   json += ", \"cut_weight\": " + std::to_string(m.cut_weight);
@@ -385,7 +424,8 @@ int main(int argc, char** argv) {
     }
 
     Timer timer;
-    std::vector<std::uint8_t> sides = run(cli, h);
+    RunResult result = run(cli, h);
+    std::vector<std::uint8_t> sides = std::move(result.sides);
     if (cli.refine) {
       FmOptions fm;
       fm.seed = cli.seed;
@@ -401,6 +441,12 @@ int main(int argc, char** argv) {
     } else {
       std::printf("partition: %s\n", to_string(metrics).c_str());
     }
+    if (result.ml_levels > 0) {
+      std::printf("engine: %s (%d level%s)\n", result.engine.c_str(),
+                  result.ml_levels, result.ml_levels == 1 ? "" : "s");
+    } else {
+      std::printf("engine: %s\n", result.engine.c_str());
+    }
     std::printf("runtime: %.3f s\n", seconds);
 
     if (!cli.output.empty()) {
@@ -412,7 +458,10 @@ int main(int argc, char** argv) {
       write_partition(out, sides);
       std::printf("partition written to %s\n", cli.output.c_str());
     }
-    if (!write_metrics_file(cli, metrics, seconds)) return 1;
+    if (!write_metrics_file(cli, metrics, seconds, result.engine,
+                            result.ml_levels)) {
+      return 1;
+    }
     if (!emit_observability(cli)) return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,86 +1,16 @@
 #include "baselines/multilevel.hpp"
 
-#include <algorithm>
-#include <numeric>
+#include <utility>
 
 #include "baselines/fm.hpp"
-#include "hypergraph/contract.hpp"
+#include "multilevel/coarsen.hpp"
+#include "multilevel/hierarchy.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
 namespace fhp {
-
-namespace {
-
-/// One heavy-edge-matching coarsening step. Vertices are visited in
-/// random order; each unmatched vertex merges with the unmatched neighbor
-/// of highest connectivity rating sum(w(e) / (|e|-1)) subject to a
-/// cluster-weight cap. Returns the cluster map and cluster count.
-std::pair<std::vector<VertexId>, VertexId> heavy_edge_matching(
-    const Hypergraph& h, const MultilevelOptions& options, Rng& rng) {
-  const VertexId n = h.num_vertices();
-  std::vector<VertexId> order(n);
-  std::iota(order.begin(), order.end(), 0U);
-  rng.shuffle(order);
-
-  Weight max_vertex = 1;
-  for (VertexId v = 0; v < n; ++v) {
-    max_vertex = std::max(max_vertex, h.vertex_weight(v));
-  }
-  const Weight cluster_cap =
-      std::max(max_vertex, h.total_vertex_weight() / 32 + 1);
-
-  std::vector<VertexId> partner(n, kInvalidVertex);
-  std::vector<double> rating(n, 0.0);
-  std::vector<VertexId> touched;
-  for (VertexId v : order) {
-    if (partner[v] != kInvalidVertex) continue;
-    touched.clear();
-    for (EdgeId e : h.nets_of(v)) {
-      const std::uint32_t size = h.edge_size(e);
-      if (size < 2) continue;
-      if (options.rating_net_cap > 0 && size > options.rating_net_cap) {
-        continue;
-      }
-      const double score = static_cast<double>(h.edge_weight(e)) /
-                           static_cast<double>(size - 1);
-      for (VertexId u : h.pins(e)) {
-        if (u == v || partner[u] != kInvalidVertex) continue;
-        if (h.vertex_weight(u) + h.vertex_weight(v) > cluster_cap) continue;
-        if (rating[u] == 0.0) touched.push_back(u);
-        rating[u] += score;
-      }
-    }
-    VertexId best = kInvalidVertex;
-    double best_rating = 0.0;
-    for (VertexId u : touched) {
-      if (rating[u] > best_rating ||
-          (rating[u] == best_rating && best != kInvalidVertex && u < best)) {
-        best = u;
-        best_rating = rating[u];
-      }
-      rating[u] = 0.0;
-    }
-    if (best != kInvalidVertex) {
-      partner[v] = best;
-      partner[best] = v;
-    }
-  }
-
-  std::vector<VertexId> cluster(n, kInvalidVertex);
-  VertexId next = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    if (cluster[v] != kInvalidVertex) continue;
-    cluster[v] = next;
-    if (partner[v] != kInvalidVertex) cluster[partner[v]] = next;
-    ++next;
-  }
-  return {std::move(cluster), next};
-}
-
-}  // namespace
 
 BaselineResult multilevel_bipartition(const Hypergraph& h,
                                       const MultilevelOptions& options) {
@@ -91,29 +21,22 @@ BaselineResult multilevel_bipartition(const Hypergraph& h,
   FHP_REQUIRE(options.initial_attempts >= 1, "need at least one attempt");
   Rng rng(options.seed);
 
-  // ---- Coarsening phase: build the hierarchy.
-  std::vector<ContractionResult> levels;
-  // Reserve the maximum possible depth: `current` points into the vector,
-  // so it must never reallocate.
-  levels.reserve(65);
-  const Hypergraph* current = &h;
-  {
-    FHP_TRACE_SCOPE("coarsen");
-    while (current->num_vertices() > options.coarsest_size &&
-           levels.size() + 1 < levels.capacity()) {
-      auto [cluster, count] = heavy_edge_matching(*current, options, rng);
-      if (static_cast<double>(count) >
-          options.min_shrink * static_cast<double>(current->num_vertices())) {
-        break;  // matching stalled (e.g. star-shaped netlists)
-      }
-      levels.push_back(contract(*current, std::move(cluster), count));
-      current = &levels.back().hypergraph;
-    }
-  }
-  FHP_COUNTER_ADD("multilevel/levels", static_cast<long long>(levels.size()));
+  // ---- Coarsening phase: the engine's heavy-edge coarsener
+  // (multilevel/coarsen.hpp) builds the hierarchy — serial here, the mini
+  // baseline is a comparison point, not the scale path. build_hierarchy
+  // emits its own ml_coarsen span and ml/coarsen_us histogram.
+  ml::CoarseningOptions coarsening;
+  coarsening.coarsest_size = options.coarsest_size;
+  coarsening.coarsest_fraction = 0.0;  // absolute target: the deep V-cycle
+  coarsening.min_shrink = options.min_shrink;
+  coarsening.rating_net_cap = options.rating_net_cap;
+  ml::Hierarchy hierarchy = ml::build_hierarchy(h, coarsening);
+  FHP_COUNTER_ADD("multilevel/levels",
+                  static_cast<long long>(hierarchy.num_levels()));
 
-  // ---- Initial partition at the coarsest level.
-  const Hypergraph& coarsest = *current;
+  // ---- Initial partition at the coarsest level: best of k FM runs from
+  // random starts.
+  const Hypergraph& coarsest = hierarchy.coarsest();
   std::vector<std::uint8_t> sides;
   {
     FHP_TRACE_SCOPE("initial_partition");
@@ -137,22 +60,22 @@ BaselineResult multilevel_bipartition(const Hypergraph& h,
   // ---- Uncoarsening phase: project and refine level by level.
   {
     FHP_TRACE_SCOPE("uncoarsen");
-    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-      sides = project_sides(it->cluster, sides);
-      const Hypergraph& fine =
-          (it + 1 == levels.rend()) ? h : (it + 1)->hypergraph;
+    for (std::size_t i = hierarchy.num_levels(); i-- > 0;) {
+      const std::span<const std::uint8_t> projected =
+          hierarchy.project(i, sides);
+      sides.assign(projected.begin(), projected.end());
       FmOptions fm;
       fm.seed = rng();
       fm.initial = sides;
       fm.max_passes = options.refine_passes;
       fm.max_weight_imbalance = options.max_weight_imbalance;
-      sides = fiduccia_mattheyses(fine, fm).sides;
+      sides = fiduccia_mattheyses(hierarchy.input_of(i), fm).sides;
     }
   }
   BaselineResult result;
   result.sides = std::move(sides);
   result.metrics = compute_metrics(Bipartition(h, result.sides));
-  result.iterations = static_cast<long>(levels.size()) + 1;
+  result.iterations = static_cast<long>(hierarchy.num_levels()) + 1;
   return result;
 }
 

@@ -1,0 +1,42 @@
+#include "multilevel/hierarchy.hpp"
+
+#include <utility>
+
+namespace fhp::ml {
+
+void Hierarchy::push(Level level) {
+  FHP_REQUIRE(level.cluster.size() ==
+                  (levels_.empty() ? finest_->num_vertices()
+                                   : levels_.back().coarse.num_vertices()),
+              "level cluster map must cover the previous level's vertices");
+  FHP_REQUIRE(level.coarse.num_vertices() >= 1,
+              "coarse hypergraph must be non-empty");
+  if (levels_.empty()) {
+    side_buffer_[0].reserve(finest_->num_vertices());
+    side_buffer_[1].reserve(finest_->num_vertices());
+  }
+  levels_.push_back(std::move(level));
+}
+
+std::span<const std::uint8_t> Hierarchy::project(
+    std::size_t i, std::span<const std::uint8_t> coarse_sides) {
+  FHP_REQUIRE(i < levels_.size(), "level index out of range");
+  const Level& lvl = levels_[i];
+  FHP_REQUIRE(coarse_sides.size() == lvl.coarse.num_vertices(),
+              "one coarse side per coarse vertex expected");
+  // Pick the buffer the input does not alias (callers chain projections,
+  // so `coarse_sides` is typically the other buffer's previous contents).
+  std::vector<std::uint8_t>& out =
+      coarse_sides.data() == side_buffer_[0].data() ? side_buffer_[1]
+                                                    : side_buffer_[0];
+  // resize() within the reserved finest-size capacity never reallocates.
+  out.resize(lvl.cluster.size());
+  for (std::size_t v = 0; v < lvl.cluster.size(); ++v) {
+    FHP_DEBUG_ASSERT(lvl.cluster[v] < coarse_sides.size(),
+                     "cluster id outside the coarse partition");
+    out[v] = coarse_sides[lvl.cluster[v]];
+  }
+  return {out.data(), out.size()};
+}
+
+}  // namespace fhp::ml

@@ -1,0 +1,83 @@
+/// \file hierarchy.hpp
+/// The contraction hierarchy of the multilevel V-cycle: per-level coarse
+/// hypergraphs and contraction maps, plus the allocation-free projection
+/// substrate the uncoarsening phase walks back up (docs/multilevel.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace fhp::ml {
+
+/// One coarsening level. `cluster` maps each vertex of the level's *input*
+/// hypergraph (the original for level 0, the previous level's `coarse`
+/// otherwise) to its coarse vertex in `coarse`.
+struct Level {
+  Hypergraph coarse;
+  std::vector<VertexId> cluster;
+};
+
+/// An owning stack of coarsening levels over a finest hypergraph (held by
+/// reference — it must outlive the hierarchy). Levels are memoized here
+/// once at coarsening time; uncoarsening only reads them.
+///
+/// Projection discipline (PR 3): the hierarchy pre-reserves two side
+/// buffers at the finest vertex count when the first level is pushed, so
+/// walking a partition down the whole hierarchy via project() is O(n) per
+/// level with zero allocations — no per-level churn no matter how deep
+/// the V-cycle goes.
+class Hierarchy {
+ public:
+  explicit Hierarchy(const Hypergraph& finest) : finest_(&finest) {}
+
+  /// Number of coarsening levels (0 = no coarsening happened).
+  [[nodiscard]] std::size_t num_levels() const noexcept {
+    return levels_.size();
+  }
+  /// Level \p i (0 = finest contraction).
+  [[nodiscard]] const Level& level(std::size_t i) const {
+    FHP_DEBUG_ASSERT(i < levels_.size(), "level index out of range");
+    return levels_[i];
+  }
+  /// The finest hypergraph the hierarchy was built over.
+  [[nodiscard]] const Hypergraph& finest() const noexcept { return *finest_; }
+  /// Input hypergraph of level \p i: the finest for i == 0, otherwise the
+  /// previous level's coarse hypergraph.
+  [[nodiscard]] const Hypergraph& input_of(std::size_t i) const {
+    FHP_DEBUG_ASSERT(i < levels_.size(), "level index out of range");
+    return i == 0 ? *finest_ : levels_[i - 1].coarse;
+  }
+  /// The coarsest hypergraph (the finest when no level was built).
+  [[nodiscard]] const Hypergraph& coarsest() const noexcept {
+    return levels_.empty() ? *finest_ : levels_.back().coarse;
+  }
+
+  /// Appends a level. First push reserves the projection buffers at the
+  /// finest vertex count.
+  void push(Level level);
+
+  /// Projects \p coarse_sides (one entry per vertex of level \p i's
+  /// coarse hypergraph) through level \p i's contraction map into the
+  /// internal fine-side buffer and returns a view of it. O(n of the
+  /// level's input), allocation-free after the first push. The returned
+  /// span is invalidated by the next project() call.
+  [[nodiscard]] std::span<const std::uint8_t> project(
+      std::size_t i, std::span<const std::uint8_t> coarse_sides);
+
+  /// Scratch bytes held by the projection buffers (for the obs layer).
+  [[nodiscard]] std::size_t projection_bytes() const noexcept {
+    return side_buffer_[0].capacity() + side_buffer_[1].capacity();
+  }
+
+ private:
+  const Hypergraph* finest_;
+  std::vector<Level> levels_;
+  /// Double-buffered side storage: project() fills the buffer the input
+  /// span does NOT alias, so callers can chain projections level by level.
+  std::vector<std::uint8_t> side_buffer_[2];
+};
+
+}  // namespace fhp::ml

@@ -108,6 +108,27 @@ TEST(Benchdiff, CounterDriftIsExactRegression) {
   EXPECT_EQ(counter->status, Status::kRegressed);
 }
 
+TEST(Benchdiff, WorkspaceCounterDriftIsAdvisory) {
+  // workspace/* counters track per-lane allocator growth; an idle pool
+  // lane never grows its workspace, so the totals depend on OS lane
+  // scheduling — they must never fail the gate, only show as advisory.
+  auto with_grows = [](long long grows) {
+    std::string json = make_report(0.5, 42, 100000);
+    const std::string needle = "\"trace\": {\"counters\": {";
+    const std::size_t at = json.find(needle) + needle.size();
+    return json.substr(0, at) +
+           "\"workspace/buffer_grows\": " + std::to_string(grows) + ", " +
+           json.substr(at);
+  };
+  const json::Value baseline = json::parse(with_grows(488));
+  const json::Value drifted = json::parse(with_grows(487));
+  const DiffResult result = benchdiff::diff(baseline, drifted, Options{});
+  EXPECT_FALSE(result.regressed);
+  const Entry* counter = find_entry(result, "counter/workspace/buffer_grows");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->status, Status::kAdvisory);
+}
+
 TEST(Benchdiff, CounterGateSkippedWithoutTracing) {
   // Counter drift must not gate when either side lacks compiled tracing —
   // an OFF build legitimately reports no instrumentation work.

@@ -149,13 +149,23 @@ void diff_counters(const json::Value& baseline, const json::Value& current,
     // Unchanged counters are the common case; recording hundreds of "="
     // rows would bury the signal, so only drifts become entries.
     if (base_value.as_number() == cur_value->as_number()) continue;
+    // workspace/* counters track per-lane allocator growth, which depends
+    // on how the OS schedules pool lanes (an idle lane never grows its
+    // workspace) — machine- and run-dependent, so advisory like RSS.
+    // Algorithm-work counters stay on the exact gate.
+    const bool scheduling_dependent = name.rfind("workspace/", 0) == 0;
     Entry e;
     e.metric = "counter/" + name;
     e.baseline = base_value.as_number();
     e.current = cur_value->as_number();
-    e.status = options.gate_counters ? Status::kRegressed : Status::kAdvisory;
+    e.status = options.gate_counters && !scheduling_dependent
+                   ? Status::kRegressed
+                   : Status::kAdvisory;
     e.detail = (e.current > e.baseline ? "+" : "") +
-               format_double(e.current - e.baseline) + " (exact gate)";
+               format_double(e.current - e.baseline) +
+               (scheduling_dependent ? " (advisory: lane-scheduling "
+                                       "dependent)"
+                                     : " (exact gate)");
     out.entries.push_back(std::move(e));
   }
   for (const auto& [name, value] : cur_counters->members()) {

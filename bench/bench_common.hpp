@@ -311,6 +311,7 @@ inline std::string env_fingerprint_json() {
   out += ", \"tracing_compiled\": ";
   out += (FHP_TRACING_ENABLED != 0) ? "true" : "false";
   out += ", \"pointer_bits\": " + std::to_string(sizeof(void*) * 8);
+  out += ", \"index_bits\": " + std::to_string(sizeof(Index) * 8);
   out += ", \"hardware_threads\": " +
          std::to_string(std::thread::hardware_concurrency());
   out += ", \"resolved_default_threads\": " +

@@ -18,7 +18,7 @@ int main() {
 
   print_header("C1 — P(net of size k crosses the best cut) vs 1 - O(2^-k)");
 
-  constexpr std::uint32_t kMaxSize = 24;
+  constexpr Count kMaxSize = 24;
   std::vector<double> crossing(kMaxSize + 1, 0.0);
   std::vector<double> count(kMaxSize + 1, 0.0);
 
@@ -49,7 +49,7 @@ int main() {
     }
 
     for (EdgeId e = 0; e < h.num_edges(); ++e) {
-      const std::uint32_t size = std::min(h.edge_size(e), kMaxSize);
+      const Count size = std::min(h.edge_size(e), kMaxSize);
       if (size < 2) continue;
       bool l = false;
       bool r = false;

@@ -1,0 +1,220 @@
+#include "gen/sharded.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fhp {
+
+namespace {
+
+/// Draws the nets of chunk \p chunk_index into \p sink(pins). The chunk's
+/// stream is forked from the master seed, so chunks can be (re)drawn in
+/// any order — the two-pass writers below lean on exactly that to count
+/// nets and pins before committing a header.
+template <typename Sink>
+void draw_chunk(const CircuitParams& params, std::uint64_t seed,
+                std::uint64_t chunk_index, std::uint64_t net_count,
+                std::vector<VertexId>& pins, Sink&& sink) {
+  Rng rng = Rng(seed).fork(chunk_index);
+  const auto n = static_cast<std::uint32_t>(params.num_modules);
+  const auto window = std::max<std::uint32_t>(
+      4, static_cast<std::uint32_t>(static_cast<double>(n) *
+                                    params.window_fraction));
+  for (std::uint64_t i = 0; i < net_count; ++i) {
+    pins.clear();
+    if (rng.next_bool(params.bus_fraction)) {
+      auto size = static_cast<std::uint32_t>(
+          rng.next_in(params.bus_size_min, params.bus_size_max));
+      size = std::min(size, n);
+      for (std::uint32_t v : rng.sample_distinct(n, size)) {
+        pins.push_back(static_cast<VertexId>(v));
+      }
+    } else {
+      const auto extra = static_cast<std::uint32_t>(
+          rng.next_geometric(params.size_geometric_p) - 1);
+      const std::uint32_t size = std::min(params.max_net_size, 2 + extra);
+      std::uint32_t span;
+      if (rng.next_bool(params.locality)) {
+        span = window;
+      } else if (rng.next_bool(0.85)) {
+        span = window * 4;
+      } else {
+        span = n;
+      }
+      span = std::min(span, n);
+      const auto start =
+          static_cast<std::uint32_t>(rng.next_below(n - span + 1));
+      const std::uint32_t take = std::min(size, span);
+      for (std::uint32_t offset : rng.sample_distinct(span, take)) {
+        pins.push_back(static_cast<VertexId>(start + offset));
+      }
+    }
+    if (pins.size() < 2) continue;  // mirror generate_circuit's drop rule
+    sink(pins);
+  }
+}
+
+/// Nets in chunk \p c when params.num_nets nets are cut into
+/// \p nets_per_chunk-sized chunks.
+std::uint64_t chunk_nets(std::uint64_t total, std::uint64_t per_chunk,
+                         std::uint64_t c) {
+  const std::uint64_t first = c * per_chunk;
+  return std::min(per_chunk, total - first);
+}
+
+void check_params(const CircuitParams& params, std::uint64_t nets_per_chunk) {
+  FHP_REQUIRE(params.num_modules >= 4, "need at least four modules");
+  FHP_REQUIRE(static_cast<std::uint64_t>(params.num_modules) <
+                  (std::uint64_t{1} << 32),
+              "sharded generation samples 32-bit module ids");
+  FHP_REQUIRE(params.size_geometric_p > 0.0 && params.size_geometric_p <= 1.0,
+              "geometric parameter out of range");
+  FHP_REQUIRE(params.max_net_size >= 2, "nets need at least two pins");
+  FHP_REQUIRE(params.bus_size_max >= params.bus_size_min &&
+                  params.bus_size_min >= 2,
+              "bad bus size range");
+  FHP_REQUIRE(params.weight_geometric_p == 0.0,
+              "sharded writers emit unit module weights");
+  FHP_REQUIRE(nets_per_chunk > 0, "nets_per_chunk must be positive");
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[20];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+void flush_chunk(std::ofstream& out, std::string& buf, const char* path) {
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) throw IoError(std::string("write failed on '") + path + "'");
+  buf.clear();
+}
+
+/// Pass 1 over every chunk: count emitted nets and pins without formatting
+/// or I/O, so the headers can be written before the records.
+ShardedNetlistStats census(const CircuitParams& params, std::uint64_t seed,
+                           std::uint64_t nets_per_chunk) {
+  ShardedNetlistStats stats;
+  stats.num_modules = static_cast<std::uint64_t>(params.num_modules);
+  const auto total = static_cast<std::uint64_t>(params.num_nets);
+  stats.num_chunks = (total + nets_per_chunk - 1) / nets_per_chunk;
+  std::vector<VertexId> pins;
+  for (std::uint64_t c = 0; c < stats.num_chunks; ++c) {
+    draw_chunk(params, seed, c, chunk_nets(total, nets_per_chunk, c), pins,
+               [&](const std::vector<VertexId>& p) {
+                 ++stats.num_nets;
+                 stats.num_pins += p.size();
+               });
+  }
+  return stats;
+}
+
+}  // namespace
+
+ShardedNetlistStats write_sharded_hmetis(const std::string& path,
+                                         const CircuitParams& params,
+                                         std::uint64_t seed,
+                                         std::uint64_t nets_per_chunk) {
+  check_params(params, nets_per_chunk);
+  const ShardedNetlistStats stats = census(params, seed, nets_per_chunk);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  std::string buf;
+  buf.reserve(std::size_t{1} << 20);
+  append_u64(buf, stats.num_nets);
+  buf.push_back(' ');
+  append_u64(buf, stats.num_modules);
+  buf.push_back('\n');
+
+  const auto total = static_cast<std::uint64_t>(params.num_nets);
+  std::vector<VertexId> pins;
+  for (std::uint64_t c = 0; c < stats.num_chunks; ++c) {
+    draw_chunk(params, seed, c, chunk_nets(total, nets_per_chunk, c), pins,
+               [&](const std::vector<VertexId>& p) {
+                 for (std::size_t i = 0; i < p.size(); ++i) {
+                   if (i > 0) buf.push_back(' ');
+                   append_u64(buf, static_cast<std::uint64_t>(p[i]) + 1);
+                 }
+                 buf.push_back('\n');
+               });
+    flush_chunk(out, buf, path.c_str());
+  }
+  out.flush();
+  if (!out) throw IoError("write failed on '" + path + "'");
+  return stats;
+}
+
+ShardedNetlistStats write_sharded_bookshelf(const std::string& nodes_path,
+                                            const std::string& nets_path,
+                                            const CircuitParams& params,
+                                            std::uint64_t seed,
+                                            std::uint64_t nets_per_chunk) {
+  check_params(params, nets_per_chunk);
+  const ShardedNetlistStats stats = census(params, seed, nets_per_chunk);
+
+  // ---- .nodes: one unit-area record per module, streamed in blocks ----
+  {
+    std::ofstream out(nodes_path, std::ios::binary);
+    if (!out) throw IoError("cannot open '" + nodes_path + "' for writing");
+    std::string buf;
+    buf.reserve(std::size_t{1} << 20);
+    buf += "UCLA nodes 1.0\n\nNumNodes : ";
+    append_u64(buf, stats.num_modules);
+    buf += "\nNumTerminals : 0\n";
+    for (std::uint64_t v = 0; v < stats.num_modules; ++v) {
+      buf += "  m";
+      append_u64(buf, v);
+      buf += " 1 1\n";
+      if (buf.size() > (std::size_t{1} << 20) - 64) {
+        flush_chunk(out, buf, nodes_path.c_str());
+      }
+    }
+    flush_chunk(out, buf, nodes_path.c_str());
+    out.flush();
+    if (!out) throw IoError("write failed on '" + nodes_path + "'");
+  }
+
+  // ---- .nets: NetDegree + pin lines, chunk by chunk ----
+  std::ofstream out(nets_path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + nets_path + "' for writing");
+  std::string buf;
+  buf.reserve(std::size_t{1} << 20);
+  buf += "UCLA nets 1.0\n\nNumNets : ";
+  append_u64(buf, stats.num_nets);
+  buf += "\nNumPins : ";
+  append_u64(buf, stats.num_pins);
+  buf.push_back('\n');
+
+  const auto total = static_cast<std::uint64_t>(params.num_nets);
+  std::uint64_t net_index = 0;
+  std::vector<VertexId> pins;
+  for (std::uint64_t c = 0; c < stats.num_chunks; ++c) {
+    draw_chunk(params, seed, c, chunk_nets(total, nets_per_chunk, c), pins,
+               [&](const std::vector<VertexId>& p) {
+                 buf += "NetDegree : ";
+                 append_u64(buf, p.size());
+                 buf += " n";
+                 append_u64(buf, net_index++);
+                 buf.push_back('\n');
+                 for (VertexId v : p) {
+                   buf += "  m";
+                   append_u64(buf, static_cast<std::uint64_t>(v));
+                   buf += " B\n";
+                 }
+               });
+    flush_chunk(out, buf, nets_path.c_str());
+  }
+  out.flush();
+  if (!out) throw IoError("write failed on '" + nets_path + "'");
+  return stats;
+}
+
+}  // namespace fhp

@@ -1,0 +1,53 @@
+/// \file sharded.hpp
+/// Sharded (streaming) netlist synthesis for million-module instances.
+///
+/// generate_circuit() materializes the whole hypergraph in memory before
+/// anything can be written, which caps practical instance sizes well below
+/// the million-module designs the ingest path is built for. The writers
+/// here stream the same circuit model straight to disk chunk-by-chunk:
+/// nets are drawn in fixed-size chunks, each chunk from its own forked RNG
+/// stream (`Rng(seed).fork(chunk_index)`), formatted into a reused buffer,
+/// and appended to the output file. Peak memory is one chunk, independent
+/// of instance size.
+///
+/// Determinism: output depends only on (params, seed, nets_per_chunk).
+/// Forked streams make chunks order-independent, but the chunk size is
+/// part of the instance identity — the same seed with a different
+/// nets_per_chunk yields a different (equally valid) netlist. The stream
+/// model matches generate_circuit's net-size mix and locality structure
+/// but is not bit-identical to it, and module weights are always 1
+/// (per-module weight lines would defeat streaming; callers wanting
+/// weighted instances post-process).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gen/circuit.hpp"
+
+namespace fhp {
+
+/// What a sharded writer actually emitted (degenerate draws are dropped,
+/// so num_nets can fall slightly short of params.num_nets).
+struct ShardedNetlistStats {
+  std::uint64_t num_modules = 0;
+  std::uint64_t num_nets = 0;
+  std::uint64_t num_pins = 0;
+  std::uint64_t num_chunks = 0;
+};
+
+/// Streams an hMETIS (.hgr) netlist of params.num_modules modules to
+/// \p path. Requires params.weight_geometric_p == 0 (unit weights) and
+/// params.num_modules < 2^32. Throws IoError on write failure.
+ShardedNetlistStats write_sharded_hmetis(const std::string& path,
+                                         const CircuitParams& params,
+                                         std::uint64_t seed,
+                                         std::uint64_t nets_per_chunk = 65536);
+
+/// Streams the same model as a Bookshelf .nodes/.nets pair.
+ShardedNetlistStats write_sharded_bookshelf(
+    const std::string& nodes_path, const std::string& nets_path,
+    const CircuitParams& params, std::uint64_t seed,
+    std::uint64_t nets_per_chunk = 65536);
+
+}  // namespace fhp

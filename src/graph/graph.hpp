@@ -63,14 +63,12 @@ class Graph {
             adjacency_.data() + offsets_[v + 1]};
   }
   /// Degree of \p v.
-  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+  [[nodiscard]] Count degree(VertexId v) const {
     FHP_DEBUG_ASSERT(v < num_vertices(), "vertex id out of range");
-    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+    return static_cast<Count>(offsets_[v + 1] - offsets_[v]);
   }
   /// Largest degree (0 for the empty graph).
-  [[nodiscard]] std::uint32_t max_degree() const noexcept {
-    return max_degree_;
-  }
+  [[nodiscard]] Count max_degree() const noexcept { return max_degree_; }
   /// True iff u and v are adjacent (binary search, O(log deg)).
   [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
 
@@ -94,7 +92,7 @@ class Graph {
 
   std::vector<std::size_t> offsets_{0};
   std::vector<VertexId> adjacency_;
-  std::uint32_t max_degree_ = 0;
+  Count max_degree_ = 0;
 };
 
 /// Incremental edge-list accumulator for Graph.

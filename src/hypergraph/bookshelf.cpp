@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
-#include <fstream>
+#include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
@@ -69,6 +70,12 @@ BookshelfDesign read_bookshelf(std::istream& nodes, std::istream& nets) {
   if (num_terminals > num_nodes) {
     throw IoError("more terminals than nodes");
   }
+  if (static_cast<unsigned long long>(num_nodes) > kMaxIndexCount) {
+    throw IoError(
+        "NumNodes exceeds the supported id range (" +
+        std::to_string(kMaxIndexCount) +
+        "); rebuild with -DFHP_INDEX_64=ON for larger instances");
+  }
 
   for (long long i = 0; i < num_nodes; ++i) {
     if (!next_line(nodes, line)) {
@@ -89,7 +96,14 @@ BookshelfDesign read_bookshelf(std::istream& nodes, std::istream& nets) {
     if (ids.contains(name)) {
       throw IoError("duplicate node '" + name + "'");
     }
-    const auto area = static_cast<Weight>(width * height);
+    const double area_f = width * height;
+    // Guard the double->Weight cast: converting NaN/inf or a value beyond
+    // the integer range is undefined behavior, not just a bad weight.
+    if (!std::isfinite(area_f) ||
+        area_f >= static_cast<double>(std::numeric_limits<Weight>::max())) {
+      throw IoError("node area out of range in '" + line + "'");
+    }
+    const auto area = static_cast<Weight>(area_f);
     const VertexId v = builder.add_vertex(std::max<Weight>(1, area));
     ids.emplace(name, v);
     design.netlist.vertex_names.push_back(name);
@@ -102,6 +116,12 @@ BookshelfDesign read_bookshelf(std::istream& nodes, std::istream& nets) {
   const long long num_nets = parse_count(line, "NumNets");
   if (!next_line(nets, line)) throw IoError("missing NumPins");
   const long long num_pins = parse_count(line, "NumPins");
+  if (static_cast<unsigned long long>(num_nets) > kMaxIndexCount) {
+    throw IoError(
+        "NumNets exceeds the supported id range (" +
+        std::to_string(kMaxIndexCount) +
+        "); rebuild with -DFHP_INDEX_64=ON for larger instances");
+  }
 
   long long pins_seen = 0;
   for (long long n = 0; n < num_nets; ++n) {
@@ -147,14 +167,9 @@ BookshelfDesign read_bookshelf(std::istream& nodes, std::istream& nets) {
   return design;
 }
 
-BookshelfDesign read_bookshelf_files(const std::string& nodes_path,
-                                     const std::string& nets_path) {
-  std::ifstream nodes(nodes_path);
-  if (!nodes) throw IoError("cannot open '" + nodes_path + "' for reading");
-  std::ifstream nets(nets_path);
-  if (!nets) throw IoError("cannot open '" + nets_path + "' for reading");
-  return read_bookshelf(nodes, nets);
-}
+// read_bookshelf_files lives in bookshelf_scan.cpp: the disk entry point
+// maps both files and runs the zero-copy parser; this translation unit
+// keeps the istream oracle and the writer.
 
 void write_bookshelf(std::ostream& nodes, std::ostream& nets,
                      const BookshelfDesign& design) {

@@ -18,6 +18,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hypergraph/io.hpp"
@@ -31,11 +32,21 @@ struct BookshelfDesign {
   std::vector<std::uint8_t> is_terminal;
 };
 
-/// Parses a .nodes / .nets stream pair.
+/// Parses a .nodes / .nets stream pair. This is the legacy istream path,
+/// kept as the differential oracle for the zero-copy overload below.
 [[nodiscard]] BookshelfDesign read_bookshelf(std::istream& nodes,
                                              std::istream& nets);
 
-/// Parses a .nodes / .nets file pair from disk.
+/// Parses a .nodes / .nets pair from in-memory buffers (typically mmap'ed
+/// files) with the zero-copy scanner. Line counts are verified against the
+/// declared NumNodes/NumNets/NumPins before any count-proportional
+/// allocation, so truncated input fails with a typed IoError instead of an
+/// OOM attempt. Identical results to the istream parser on well-formed
+/// input (enforced by differential tests).
+[[nodiscard]] BookshelfDesign read_bookshelf(std::string_view nodes_text,
+                                             std::string_view nets_text);
+
+/// Parses a .nodes / .nets file pair from disk via mmap (overload above).
 [[nodiscard]] BookshelfDesign read_bookshelf_files(
     const std::string& nodes_path, const std::string& nets_path);
 

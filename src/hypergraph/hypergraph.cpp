@@ -113,38 +113,73 @@ Hypergraph HypergraphBuilder::build() && {
   h.edge_pins_ = std::move(edge_pins_);
   h.vertex_weights_ = std::move(vertex_weights_);
   h.edge_weights_ = std::move(edge_weights_);
+  h.finalize_from_edge_csr();
+  return h;
+}
 
-  const VertexId nv = static_cast<VertexId>(h.vertex_weights_.size());
-  const EdgeId ne = static_cast<EdgeId>(h.edge_weights_.size());
+Hypergraph Hypergraph::from_csr(std::vector<std::size_t> edge_offsets,
+                                std::vector<VertexId> edge_pins,
+                                std::vector<Weight> vertex_weights,
+                                std::vector<Weight> edge_weights) {
+  FHP_REQUIRE(!edge_offsets.empty() && edge_offsets.front() == 0 &&
+                  edge_offsets.back() == edge_pins.size(),
+              "edge offsets must span the pin array");
+  FHP_REQUIRE(edge_offsets.size() == edge_weights.size() + 1,
+              "one weight per edge");
+  const auto nv = vertex_weights.size();
+#if !defined(NDEBUG)
+  for (std::size_t e = 0; e + 1 < edge_offsets.size(); ++e) {
+    FHP_DEBUG_ASSERT(edge_offsets[e] <= edge_offsets[e + 1],
+                     "edge offsets must be non-decreasing");
+    for (std::size_t i = edge_offsets[e]; i < edge_offsets[e + 1]; ++i) {
+      FHP_DEBUG_ASSERT(edge_pins[i] < nv, "pin references unknown vertex");
+      FHP_DEBUG_ASSERT(i == edge_offsets[e] || edge_pins[i - 1] < edge_pins[i],
+                       "pins must be sorted and distinct");
+    }
+  }
+#else
+  (void)nv;
+#endif
+  Hypergraph h;
+  h.edge_offsets_ = std::move(edge_offsets);
+  h.edge_pins_ = std::move(edge_pins);
+  h.vertex_weights_ = std::move(vertex_weights);
+  h.edge_weights_ = std::move(edge_weights);
+  h.finalize_from_edge_csr();
+  return h;
+}
+
+void Hypergraph::finalize_from_edge_csr() {
+  const VertexId nv = static_cast<VertexId>(vertex_weights_.size());
+  const EdgeId ne = static_cast<EdgeId>(edge_weights_.size());
 
   // Build the inverse incidence (vertex -> nets) by counting sort, which
   // also leaves each vertex's net list sorted because edges are scanned in
   // ascending id order.
   std::vector<std::size_t> counts(static_cast<std::size_t>(nv) + 1, 0);
-  for (VertexId v : h.edge_pins_) ++counts[v + 1];
+  for (VertexId v : edge_pins_) ++counts[v + 1];
   std::partial_sum(counts.begin(), counts.end(), counts.begin());
-  h.vertex_offsets_ = counts;
-  h.vertex_edges_.resize(h.edge_pins_.size());
+  vertex_offsets_ = counts;
+  vertex_edges_.resize(edge_pins_.size());
   std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
   for (EdgeId e = 0; e < ne; ++e) {
-    for (std::size_t i = h.edge_offsets_[e]; i < h.edge_offsets_[e + 1]; ++i) {
-      h.vertex_edges_[cursor[h.edge_pins_[i]]++] = e;
+    for (std::size_t i = edge_offsets_[e]; i < edge_offsets_[e + 1]; ++i) {
+      vertex_edges_[cursor[edge_pins_[i]]++] = e;
     }
   }
 
-  h.total_vertex_weight_ = 0;
-  for (Weight w : h.vertex_weights_) h.total_vertex_weight_ += w;
-  h.total_edge_weight_ = 0;
-  for (Weight w : h.edge_weights_) h.total_edge_weight_ += w;
-  h.max_edge_size_ = 0;
+  total_vertex_weight_ = 0;
+  for (Weight w : vertex_weights_) total_vertex_weight_ += w;
+  total_edge_weight_ = 0;
+  for (Weight w : edge_weights_) total_edge_weight_ += w;
+  max_edge_size_ = 0;
   for (EdgeId e = 0; e < ne; ++e) {
-    h.max_edge_size_ = std::max(h.max_edge_size_, h.edge_size(e));
+    max_edge_size_ = std::max(max_edge_size_, edge_size(e));
   }
-  h.max_degree_ = 0;
+  max_degree_ = 0;
   for (VertexId v = 0; v < nv; ++v) {
-    h.max_degree_ = std::max(h.max_degree_, h.degree(v));
+    max_degree_ = std::max(max_degree_, degree(v));
   }
-  return h;
 }
 
 }  // namespace fhp

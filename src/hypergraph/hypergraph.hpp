@@ -31,6 +31,19 @@ class Hypergraph {
   [[nodiscard]] static Hypergraph from_edges(
       VertexId num_vertices, const std::vector<std::vector<VertexId>>& edges);
 
+  /// Adopts a prebuilt edge CSR without copying: \p edge_offsets has
+  /// num_edges + 1 entries with edge_offsets[0] == 0 and
+  /// edge_offsets.back() == edge_pins.size(); each row
+  /// [edge_offsets[e], edge_offsets[e+1]) must be sorted ascending, free
+  /// of duplicates, and reference vertices below vertex_weights.size().
+  /// The streaming parsers produce rows in exactly this form, skipping the
+  /// per-edge vector staging of HypergraphBuilder entirely. The inverse
+  /// incidence is derived here by counting sort. Row preconditions are
+  /// checked in debug builds only; size/shape preconditions always.
+  [[nodiscard]] static Hypergraph from_csr(
+      std::vector<std::size_t> edge_offsets, std::vector<VertexId> edge_pins,
+      std::vector<Weight> vertex_weights, std::vector<Weight> edge_weights);
+
   /// Number of modules.
   [[nodiscard]] VertexId num_vertices() const noexcept {
     return static_cast<VertexId>(vertex_offsets_.empty()
@@ -54,9 +67,9 @@ class Hypergraph {
             edge_pins_.data() + edge_offsets_[e + 1]};
   }
   /// Number of pins of net \p e.
-  [[nodiscard]] std::uint32_t edge_size(EdgeId e) const {
+  [[nodiscard]] Count edge_size(EdgeId e) const {
     FHP_DEBUG_ASSERT(e < num_edges(), "edge id out of range");
-    return static_cast<std::uint32_t>(edge_offsets_[e + 1] - edge_offsets_[e]);
+    return static_cast<Count>(edge_offsets_[e + 1] - edge_offsets_[e]);
   }
   /// Nets incident to module \p v, sorted ascending.
   [[nodiscard]] std::span<const EdgeId> nets_of(VertexId v) const {
@@ -65,10 +78,9 @@ class Hypergraph {
             vertex_edges_.data() + vertex_offsets_[v + 1]};
   }
   /// Number of nets incident to module \p v (its degree).
-  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+  [[nodiscard]] Count degree(VertexId v) const {
     FHP_DEBUG_ASSERT(v < num_vertices(), "vertex id out of range");
-    return static_cast<std::uint32_t>(vertex_offsets_[v + 1] -
-                                      vertex_offsets_[v]);
+    return static_cast<Count>(vertex_offsets_[v + 1] - vertex_offsets_[v]);
   }
 
   /// Weight (e.g. area) of module \p v.
@@ -90,13 +102,9 @@ class Hypergraph {
     return total_edge_weight_;
   }
   /// Largest net size (0 for an edgeless hypergraph).
-  [[nodiscard]] std::uint32_t max_edge_size() const noexcept {
-    return max_edge_size_;
-  }
+  [[nodiscard]] Count max_edge_size() const noexcept { return max_edge_size_; }
   /// Largest module degree (0 for a vertexless hypergraph).
-  [[nodiscard]] std::uint32_t max_degree() const noexcept {
-    return max_degree_;
-  }
+  [[nodiscard]] Count max_degree() const noexcept { return max_degree_; }
   /// True if every edge has exactly two pins, i.e. the hypergraph is a
   /// plain graph (the paper's definition in §1).
   [[nodiscard]] bool is_graph() const noexcept;
@@ -108,6 +116,11 @@ class Hypergraph {
  private:
   friend class HypergraphBuilder;
 
+  /// Derives the inverse incidence, weight totals and maxima from the edge
+  /// CSR + weight vectors already moved into place. Shared tail of
+  /// HypergraphBuilder::build() and from_csr().
+  void finalize_from_edge_csr();
+
   std::vector<std::size_t> edge_offsets_{0};    // size num_edges+1
   std::vector<VertexId> edge_pins_;             // size num_pins
   std::vector<std::size_t> vertex_offsets_{0};  // size num_vertices+1
@@ -116,8 +129,8 @@ class Hypergraph {
   std::vector<Weight> edge_weights_;
   Weight total_vertex_weight_ = 0;
   Weight total_edge_weight_ = 0;
-  std::uint32_t max_edge_size_ = 0;
-  std::uint32_t max_degree_ = 0;
+  Count max_edge_size_ = 0;
+  Count max_degree_ = 0;
 };
 
 /// Incremental constructor for Hypergraph. Typical use:

@@ -1,6 +1,7 @@
 #include "hypergraph/io.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -33,13 +34,25 @@ bool next_content_line(std::istream& in, std::string& line, char comment) {
 
 std::vector<long long> parse_ints(const std::string& line,
                                   const char* context) {
+  // Tokenize, then convert with from_chars: `is >> v` would consume an
+  // overflowing token, set eofbit, and silently drop the value — turning
+  // an out-of-range pin into truncated-but-accepted input.
   std::istringstream is(line);
   std::vector<long long> values;
-  long long v = 0;
-  while (is >> v) values.push_back(v);
-  if (!is.eof()) {
-    throw IoError(std::string("non-numeric token in ") + context + ": '" +
-                  line + "'");
+  std::string tok;
+  while (is >> tok) {
+    long long v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec == std::errc::result_out_of_range) {
+      throw IoError(std::string("integer overflow in ") + context + ": '" +
+                    tok + "'");
+    }
+    if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+      throw IoError(std::string("non-numeric token in ") + context + ": '" +
+                    line + "'");
+    }
+    values.push_back(v);
   }
   return values;
 }
@@ -77,9 +90,12 @@ Hypergraph read_hmetis(std::istream& in) {
   if (num_edges < 0 || num_vertices < 0) {
     throw IoError("negative counts in hMETIS header");
   }
-  if (num_vertices >= static_cast<long long>(kInvalidVertex) ||
-      num_edges >= static_cast<long long>(kInvalidVertex)) {
-    throw IoError("hMETIS header counts exceed the supported id range");
+  if (static_cast<unsigned long long>(num_vertices) > kMaxIndexCount ||
+      static_cast<unsigned long long>(num_edges) > kMaxIndexCount) {
+    throw IoError(
+        "hMETIS header counts exceed the supported id range (" +
+        std::to_string(kMaxIndexCount) +
+        "); rebuild with -DFHP_INDEX_64=ON for larger instances");
   }
   if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) {
     throw IoError("unsupported hMETIS fmt " + std::to_string(fmt));
@@ -133,11 +149,9 @@ Hypergraph read_hmetis(std::istream& in) {
   return std::move(builder).build();
 }
 
-Hypergraph read_hmetis_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw IoError("cannot open '" + path + "' for reading");
-  return read_hmetis(in);
-}
+// read_hmetis_file lives in io_scan.cpp: the disk entry point maps the file
+// and runs the zero-copy parser; this translation unit keeps the istream
+// oracle and the writers.
 
 void write_hmetis(std::ostream& out, const Hypergraph& h) {
   for (EdgeId e = 0; e < h.num_edges(); ++e) {

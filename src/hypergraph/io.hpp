@@ -18,6 +18,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hypergraph/hypergraph.hpp"
@@ -37,8 +38,21 @@ struct NamedNetlist {
 };
 
 /// Parses hMETIS format from a stream. Throws IoError on malformed input.
+/// This is the legacy istream path, kept as the differential oracle for the
+/// zero-copy overload below; prefer read_hmetis_file / the string_view
+/// overload for anything performance-sensitive.
 [[nodiscard]] Hypergraph read_hmetis(std::istream& in);
-/// Parses an hMETIS file from disk.
+/// Parses hMETIS format from an in-memory buffer (typically an mmap'ed
+/// file) with the zero-copy scanner: two passes, the first counting lines
+/// and pins so every array is allocated exactly once at its final size.
+/// A truncated edge section fails with a typed IoError *before* any
+/// edge- or pin-proportional allocation happens; only the declared vertex
+/// count is trusted up front (bounded by kMaxIndexCount — ~16 bytes per
+/// declared vertex, see docs/formats.md "Large instances"). Bit-identical
+/// to the istream parser on well-formed input (enforced by differential
+/// tests).
+[[nodiscard]] Hypergraph read_hmetis(std::string_view text);
+/// Parses an hMETIS file from disk via mmap (string_view overload above).
 [[nodiscard]] Hypergraph read_hmetis_file(const std::string& path);
 /// Writes hMETIS format (fmt 11 when any weight differs from 1, else plain).
 void write_hmetis(std::ostream& out, const Hypergraph& h);

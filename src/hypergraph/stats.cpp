@@ -13,7 +13,7 @@ HypergraphStats compute_stats(const Hypergraph& h) {
   s.max_degree = h.max_degree();
   s.edge_size_histogram.assign(h.max_edge_size() + 1, 0);
   for (EdgeId e = 0; e < h.num_edges(); ++e) {
-    const std::uint32_t size = h.edge_size(e);
+    const Count size = h.edge_size(e);
     ++s.edge_size_histogram[size];
     if (size < 2) ++s.num_trivial_edges;
   }
@@ -31,7 +31,7 @@ HypergraphStats compute_stats(const Hypergraph& h) {
   return s;
 }
 
-double fraction_edges_at_least(const Hypergraph& h, std::uint32_t k) {
+double fraction_edges_at_least(const Hypergraph& h, Count k) {
   if (h.num_edges() == 0) return 0.0;
   EdgeId count = 0;
   for (EdgeId e = 0; e < h.num_edges(); ++e) {

@@ -17,9 +17,9 @@ struct HypergraphStats {
   EdgeId num_edges = 0;
   std::size_t num_pins = 0;
   double avg_edge_size = 0.0;
-  std::uint32_t max_edge_size = 0;
+  Count max_edge_size = 0;
   double avg_degree = 0.0;
-  std::uint32_t max_degree = 0;
+  Count max_degree = 0;
   VertexId num_isolated_vertices = 0;  ///< modules on no net
   EdgeId num_trivial_edges = 0;        ///< nets with < 2 pins
   /// edge_size_histogram[k] = number of nets with exactly k pins
@@ -32,8 +32,7 @@ struct HypergraphStats {
 
 /// Fraction of nets with size >= k (0 when there are no nets). This is the
 /// quantity thresholded by the paper's large-net relaxation.
-[[nodiscard]] double fraction_edges_at_least(const Hypergraph& h,
-                                             std::uint32_t k);
+[[nodiscard]] double fraction_edges_at_least(const Hypergraph& h, Count k);
 
 /// Renders the stats as a short human-readable report.
 [[nodiscard]] std::string to_string(const HypergraphStats& stats);

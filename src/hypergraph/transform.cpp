@@ -7,15 +7,15 @@ namespace fhp {
 namespace {
 
 EdgeFilterResult filter_edges_by_size(const Hypergraph& h,
-                                      std::uint32_t min_size,
-                                      std::uint32_t max_size) {
+                                      Count min_size,
+                                      Count max_size) {
   HypergraphBuilder builder;
   for (VertexId v = 0; v < h.num_vertices(); ++v) {
     builder.add_vertex(h.vertex_weight(v));
   }
   std::vector<EdgeId> kept;
   for (EdgeId e = 0; e < h.num_edges(); ++e) {
-    const std::uint32_t size = h.edge_size(e);
+    const Count size = h.edge_size(e);
     if (size < min_size || size > max_size) continue;
     builder.add_edge(h.pins(e), h.edge_weight(e));
     kept.push_back(e);
@@ -26,14 +26,14 @@ EdgeFilterResult filter_edges_by_size(const Hypergraph& h,
 }  // namespace
 
 EdgeFilterResult filter_large_edges(const Hypergraph& h,
-                                    std::uint32_t max_size) {
+                                    Count max_size) {
   FHP_REQUIRE(max_size >= 2, "edge-size threshold below 2 drops every net");
   return filter_edges_by_size(h, 2, max_size);
 }
 
 EdgeFilterResult filter_trivial_edges(const Hypergraph& h) {
   return filter_edges_by_size(h, 2,
-                              std::numeric_limits<std::uint32_t>::max());
+                              std::numeric_limits<Count>::max());
 }
 
 GranularizeResult granularize(const Hypergraph& h, Weight max_chunk_weight,

@@ -24,7 +24,7 @@ struct EdgeFilterResult {
 /// above a small threshold barely perturbs the optimum while bounding the
 /// intersection-graph degree. The vertex set is unchanged.
 [[nodiscard]] EdgeFilterResult filter_large_edges(const Hypergraph& h,
-                                                  std::uint32_t max_size);
+                                                  Count max_size);
 
 /// Drops nets with fewer than 2 pins only.
 [[nodiscard]] EdgeFilterResult filter_trivial_edges(const Hypergraph& h);

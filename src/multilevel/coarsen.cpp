@@ -66,7 +66,7 @@ ClusteringResult heavy_edge_clustering(const Hypergraph& h,
       const Weight wv = h.vertex_weight(v);
       s.touched.clear();
       for (EdgeId e : h.nets_of(v)) {
-        const std::uint32_t size = h.edge_size(e);
+        const Count size = h.edge_size(e);
         if (size < 2) continue;
         if (options.rating_net_cap > 0 && size > options.rating_net_cap) {
           continue;

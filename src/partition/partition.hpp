@@ -47,7 +47,7 @@ class Bipartition {
   void move_to(VertexId v, std::uint8_t to);
 
   /// Number of pins of net \p e on side \p s.
-  [[nodiscard]] std::uint32_t pins_on_side(EdgeId e, std::uint8_t s) const {
+  [[nodiscard]] Count pins_on_side(EdgeId e, std::uint8_t s) const {
     FHP_DEBUG_ASSERT(e < pins_on_side_[0].size(), "edge out of range");
     return pins_on_side_[s][e];
   }
@@ -94,7 +94,7 @@ class Bipartition {
 
   const Hypergraph* h_;
   std::vector<std::uint8_t> sides_;
-  std::vector<std::uint32_t> pins_on_side_[2];
+  std::vector<Count> pins_on_side_[2];
   VertexId counts_[2] = {0, 0};
   Weight weights_[2] = {0, 0};
   EdgeId cut_edges_ = 0;

@@ -13,7 +13,7 @@ CutProfile cut_profile(const Bipartition& p) {
   profile.nets_of_size.assign(h.max_edge_size() + 1, 0);
   profile.cut_of_size.assign(h.max_edge_size() + 1, 0);
   for (EdgeId e = 0; e < h.num_edges(); ++e) {
-    const std::uint32_t size = h.edge_size(e);
+    const Count size = h.edge_size(e);
     ++profile.nets_of_size[size];
     if (p.is_cut(e)) ++profile.cut_of_size[size];
   }
@@ -30,7 +30,7 @@ PartitionReport analyze(const Bipartition& p) {
   for (EdgeId e = 0; e < h.num_edges(); ++e) {
     if (!p.is_cut(e)) continue;
     report.cut_nets.push_back(e);
-    const std::uint32_t size = h.edge_size(e);
+    const Count size = h.edge_size(e);
     size_sum += size;
     if (report.cut_nets.size() == 1) {
       report.min_cut_net_size = size;
@@ -62,7 +62,7 @@ std::string to_string(const PartitionReport& report) {
      << ", avg " << report.avg_cut_net_size << "), minority pins "
      << report.minority_pins << '\n';
   os << "crossing fraction by net size:";
-  for (std::uint32_t k = 2; k < report.profile.nets_of_size.size(); ++k) {
+  for (Count k = 2; k < report.profile.nets_of_size.size(); ++k) {
     if (report.profile.nets_of_size[k] == 0) continue;
     os << "  " << k << ":" << report.profile.cut_of_size[k] << '/'
        << report.profile.nets_of_size[k];

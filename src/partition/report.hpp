@@ -21,7 +21,7 @@ struct CutProfile {
   std::vector<EdgeId> cut_of_size;
 
   /// Crossing fraction for size k (0 when no such net exists).
-  [[nodiscard]] double crossing_fraction(std::uint32_t k) const {
+  [[nodiscard]] double crossing_fraction(Count k) const {
     if (k >= nets_of_size.size() || nets_of_size[k] == 0) return 0.0;
     return static_cast<double>(cut_of_size[k]) /
            static_cast<double>(nets_of_size[k]);
@@ -36,8 +36,8 @@ struct PartitionReport {
   PartitionMetrics metrics;
   CutProfile profile;
   std::vector<EdgeId> cut_nets;         ///< ids of crossing nets, ascending
-  std::uint32_t min_cut_net_size = 0;   ///< smallest crossing net
-  std::uint32_t max_cut_net_size = 0;   ///< largest crossing net
+  Count min_cut_net_size = 0;   ///< smallest crossing net
+  Count max_cut_net_size = 0;   ///< largest crossing net
   double avg_cut_net_size = 0.0;
   /// Pins of crossing nets stranded on the minority side (a router-load
   /// proxy): sum over cut nets of min(pins left, pins right).

@@ -1,0 +1,99 @@
+/// \file arena.hpp
+/// Bump-pointer arena for parse-time scratch.
+///
+/// The streaming parsers make many short-lived allocations whose lifetime
+/// is exactly one parse (line-span indexes, per-record staging). A bump
+/// arena turns each of those into a pointer increment, returns
+/// *uninitialized* storage (the parser overwrites every slot anyway), and
+/// frees everything at once — no per-allocation bookkeeping, no destructor
+/// walks, O(1) reset between parses. Restricted to trivially copyable,
+/// trivially destructible element types so "free by forgetting" is sound.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace fhp {
+
+/// Growable bump allocator. Blocks double in size as needed and are kept
+/// across reset() so a reused arena stops allocating once warmed up.
+class Arena {
+ public:
+  /// \p initial_block_bytes sizes the first block (default 1 MiB).
+  explicit Arena(std::size_t initial_block_bytes = std::size_t{1} << 20)
+      : next_block_bytes_(initial_block_bytes < kMinBlock ? kMinBlock
+                                                          : initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns uninitialized storage for \p count objects of type T, aligned
+  /// for T. The span is valid until reset() or destruction.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena storage is never constructed or destroyed");
+    if (count == 0) return {};
+    const std::size_t bytes = count * sizeof(T);
+    void* p = bump(bytes, alignof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Invalidates every outstanding allocation; keeps the blocks.
+  void reset() noexcept {
+    block_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes handed out since the last reset (diagnostics).
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+
+ private:
+  static constexpr std::size_t kMinBlock = 4096;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* bump(std::size_t bytes, std::size_t align) {
+    while (true) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        const std::size_t aligned =
+            (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= b.size) {
+          offset_ = aligned + bytes;
+          used_ += bytes;
+          return b.data.get() + aligned;
+        }
+        // Current block exhausted; move on (its tail is wasted, bounded by
+        // the doubling policy).
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      // Need a new block big enough for this request.
+      std::size_t size = next_block_bytes_;
+      while (size < bytes + align) size *= 2;
+      next_block_bytes_ = size * 2;
+      blocks_.push_back(
+          Block{std::make_unique<std::byte[]>(size), size});
+    }
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;             ///< index of the active block
+  std::size_t offset_ = 0;            ///< bump cursor within the active block
+  std::size_t next_block_bytes_;      ///< size of the next block to allocate
+  std::size_t used_ = 0;
+};
+
+}  // namespace fhp

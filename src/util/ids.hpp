@@ -1,21 +1,57 @@
 /// \file ids.hpp
 /// Shared index types for hypergraphs and graphs.
 ///
-/// Vertices and (hyper)edges are dense 32-bit indices into CSR arrays.
-/// 32 bits comfortably covers the netlist sizes this library targets
-/// (the largest instance in the reproduced paper has ~3.5k nets) while
-/// keeping adjacency arrays cache-friendly.
+/// Vertices and (hyper)edges are dense indices into CSR arrays. The index
+/// width is a build-time choice (the "64-bit-clean core" of the scale
+/// roadmap):
+///
+///   - default: 32-bit ids — adjacency arrays stay cache-friendly, which
+///     is the right trade for every instance below ~2 billion modules;
+///   - `-DFHP_INDEX_64=ON`: 64-bit ids — module/net/pin counts above 2^31
+///     (million-module shards, synthetic 10M+ stress instances) index
+///     without overflow.
+///
+/// `fhp::Index` is the *signed* arithmetic type of that width (pointer
+/// differences, signed loop arithmetic); `VertexId` / `EdgeId` are the
+/// unsigned id types actually stored in CSR arrays; `Count` is the
+/// unsigned type for derived magnitudes (degrees, edge sizes) that are
+/// bounded by an id count. Parsers must reject inputs whose declared
+/// counts exceed `kMaxIndexCount` *before* allocating (see
+/// docs/formats.md, "Large instances"); everything downstream may then
+/// assume ids fit.
+///
+/// BFS distances deliberately stay 32-bit (`graph/bfs.hpp`): a distance
+/// only exceeds 2^32 - 2 on a path of four billion hops, which no
+/// realizable netlist produces, and halving the distance-array footprint
+/// matters at scale.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <type_traits>
+
+// CMake defines FHP_INDEX_64=0/1 globally; default to the 32-bit core for
+// out-of-band compiles (IDE single-file checks).
+#ifndef FHP_INDEX_64
+#define FHP_INDEX_64 0
+#endif
 
 namespace fhp {
 
+#if FHP_INDEX_64
+/// Signed index arithmetic type (configurable int32/int64).
+using Index = std::int64_t;
+#else
+using Index = std::int32_t;
+#endif
+
 /// Index of a module (hypergraph vertex) or graph vertex.
-using VertexId = std::uint32_t;
+using VertexId = std::make_unsigned_t<Index>;
 /// Index of a signal net (hyperedge) or graph edge.
-using EdgeId = std::uint32_t;
+using EdgeId = std::make_unsigned_t<Index>;
+/// Count of ids: degrees, edge sizes, pin tallies per side — anything
+/// bounded above by a number of vertices or edges.
+using Count = std::make_unsigned_t<Index>;
 /// Additive weight type for modules/nets (e.g. cell area, net criticality).
 using Weight = std::int64_t;
 
@@ -24,5 +60,11 @@ inline constexpr VertexId kInvalidVertex =
     std::numeric_limits<VertexId>::max();
 /// Sentinel for "no edge".
 inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Largest module/net/pin count a parser may admit: every id in
+/// [0, count) must fit the signed Index (so pointer/offset arithmetic
+/// never overflows) and stay clear of the unsigned sentinels above.
+inline constexpr std::uint64_t kMaxIndexCount =
+    static_cast<std::uint64_t>(std::numeric_limits<Index>::max());
 
 }  // namespace fhp

@@ -1,0 +1,116 @@
+#include "util/mmap.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace fhp {
+
+namespace {
+
+/// Stable non-null byte for zero-length views.
+constexpr char kEmpty[] = "";
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError("cannot open '" + path + "' for reading: " +
+                  std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("cannot stat '" + path + "': " + std::strerror(err));
+  }
+  if (S_ISDIR(st.st_mode)) {
+    ::close(fd);
+    throw IoError("'" + path + "' is a directory, not a file");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    data_ = kEmpty;
+    size_ = 0;
+    return;
+  }
+
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (mapping != MAP_FAILED) {
+    // Advisory only; ignore failures (e.g. on filesystems without readahead).
+    (void)::madvise(mapping, size, MADV_SEQUENTIAL);
+    ::close(fd);
+    data_ = mapping;
+    size_ = size;
+    mapped_ = true;
+    return;
+  }
+
+  // Fallback: pipes, some network/pseudo filesystems. Read it all.
+  fallback_.resize(size);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, fallback_.data() + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw IoError("read failed on '" + path + "': " + std::strerror(err));
+    }
+    if (n == 0) break;  // file shrank under us; expose what we got
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  fallback_.resize(got);
+  data_ = fallback_.empty() ? kEmpty : fallback_.data();
+  size_ = fallback_.size();
+}
+
+MappedFile::~MappedFile() { release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+  other.data_ = kEmpty;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+    other.data_ = kEmpty;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::release() noexcept {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+  data_ = kEmpty;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+}  // namespace fhp

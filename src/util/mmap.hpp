@@ -1,0 +1,51 @@
+/// \file mmap.hpp
+/// Read-only memory-mapped file access for the streaming parsers.
+///
+/// A MappedFile exposes a file's bytes as one contiguous string_view
+/// without copying them through userspace buffers — the kernel pages data
+/// in on demand and `madvise(MADV_SEQUENTIAL)` tells it to read ahead and
+/// drop pages behind the scan, so peak RSS stays far below file size even
+/// on multi-gigabyte netlists. When mmap is unavailable (exotic
+/// filesystems, non-POSIX hosts) the constructor transparently falls back
+/// to reading the whole file into an owned buffer; callers never see the
+/// difference.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fhp {
+
+/// Move-only RAII mapping of one file, opened read-only.
+/// Throws fhp::IoError when the file cannot be opened or read.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The file's bytes. Valid for the lifetime of this object.
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {static_cast<const char*>(data_), size_};
+  }
+  /// File size in bytes.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// True when the bytes come from an actual mmap (false: fallback buffer).
+  [[nodiscard]] bool is_mapped() const noexcept { return mapped_; }
+
+ private:
+  void release() noexcept;
+
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<char> fallback_;  ///< owns the bytes when !mapped_
+};
+
+}  // namespace fhp

@@ -121,7 +121,7 @@ AuditReport audit_hypergraph(const Hypergraph& h,
                     h.total_vertex_weight()));
   }
   Weight edge_weight_total = 0;
-  std::uint32_t max_edge_size = 0;
+  Count max_edge_size = 0;
   for (EdgeId e = 0; e < m; ++e) {
     edge_weight_total += h.edge_weight(e);
     max_edge_size = std::max(max_edge_size, h.edge_size(e));
@@ -135,7 +135,7 @@ AuditReport audit_hypergraph(const Hypergraph& h,
     report.fail("max_edge_size_cached",
                 cat("scan ", max_edge_size, " != cached ", h.max_edge_size()));
   }
-  std::uint32_t max_degree = 0;
+  Count max_degree = 0;
   for (VertexId v = 0; v < n; ++v) {
     max_degree = std::max(max_degree, h.degree(v));
   }
@@ -150,7 +150,7 @@ AuditReport audit_graph(const Graph& g) {
   AuditReport report;
   const VertexId n = g.num_vertices();
   std::size_t directed = 0;
-  std::uint32_t max_degree = 0;
+  Count max_degree = 0;
   for (VertexId v = 0; v < n; ++v) {
     const auto row = g.neighbors(v);
     directed += row.size();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hypergraph/io.hpp"
+#include "util/mmap.hpp"
 
 namespace fhp {
 namespace {
@@ -37,6 +38,15 @@ TEST(Corpus, EveryHmetisFileYieldsIoError) {
     std::ifstream in(path);
     ASSERT_TRUE(in) << path;
     EXPECT_THROW(static_cast<void>(read_hmetis(in)), IoError) << path;
+  }
+}
+
+// The zero-copy parser (io_scan.cpp) must classify every corpus file the
+// same way the istream oracle does: typed IoError, no other escape.
+TEST(Corpus, EveryHmetisFileYieldsIoErrorViaMmap) {
+  for (const fs::path& path : corpus_files(".hgr")) {
+    const MappedFile file(path.string());
+    EXPECT_THROW(static_cast<void>(read_hmetis(file.view())), IoError) << path;
   }
 }
 

@@ -11,6 +11,7 @@
 ///     --engine flat|multilevel|auto   alg1 engine routing (default auto:
 ///                                 multilevel V-cycle at scale, flat below)
 ///     --flat                      shorthand for --engine flat
+///     --refiner fm|flow|flow+fm   alg1 engine refinement (default fm)
 ///     --starts N                  Alg I start budget  (default 50)
 ///     --threads N                 Alg I execution lanes (default serial)
 ///     --threshold K               ignore nets with > K pins; 0 = keep all
@@ -62,6 +63,7 @@ struct CliOptions {
   std::string engine = "auto";
   std::string completion = "greedy";
   std::string objective = "cut";
+  std::string refiner = "fm";
   std::string output;
   std::string json_path;
   std::string chrome_trace_path;
@@ -94,6 +96,10 @@ void print_usage() {
       "                            multilevel V-cycle, smaller ones flat\n"
       "                            Algorithm I; see docs/multilevel.md)\n"
       "  --flat                    shorthand for --engine flat\n"
+      "  --refiner fm|flow|flow+fm alg1 engine refinement: per-level FM,\n"
+      "                            corridor flow, or flow then FM polish\n"
+      "                            (flat runs get a flow post-pass;\n"
+      "                            default fm)\n"
       "  --starts N                Alg I multi-start budget (default 50)\n"
       "  --threads N               Alg I execution lanes (default: the\n"
       "                            FHP_THREADS env var, else serial); the\n"
@@ -138,6 +144,8 @@ CliOptions parse(int argc, char** argv) {
       options.engine = value();
     } else if (arg == "--flat") {
       options.engine = "flat";
+    } else if (arg == "--refiner") {
+      options.refiner = value();
     } else if (arg == "--completion") {
       options.completion = value();
     } else if (arg == "--objective") {
@@ -219,6 +227,13 @@ RunResult run(const CliOptions& cli, const Hypergraph& h) {
       plan.engine = ml::EngineChoice::kMultilevel;
     } else if (cli.engine != "auto") {
       usage_error("unknown engine " + cli.engine);
+    }
+    if (cli.refiner == "flow") {
+      plan.refiner = ml::RefinerChoice::kFlow;
+    } else if (cli.refiner == "flow+fm") {
+      plan.refiner = ml::RefinerChoice::kFlowFm;
+    } else if (cli.refiner != "fm") {
+      usage_error("unknown refiner " + cli.refiner);
     }
     ml::EngineResult r = ml::partition_auto(h, plan);
     return {std::move(r.sides), ml::to_string(r.engine_used), r.levels};

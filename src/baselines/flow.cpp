@@ -48,14 +48,21 @@ CutResult solve_cut(const Hypergraph& h, const std::vector<std::uint8_t>& in_s,
                     const std::vector<std::uint8_t>& in_t) {
   FHP_TRACE_SCOPE("maxflow_solve");
   FHP_COUNTER_ADD("flow/maxflow_solves", 1);
-  const std::uint32_t n = h.num_vertices();
-  const std::uint32_t super_s = n + 2 * h.num_edges();
-  const std::uint32_t super_t = super_s + 1;
+  // Gadget sizing in 64-bit so a node count past the index range fails
+  // typed in FlowNetwork's admission instead of wrapping on the way there.
+  const std::uint64_t nodes64 = static_cast<std::uint64_t>(h.num_vertices()) +
+                                2 * static_cast<std::uint64_t>(h.num_edges()) +
+                                2;
+  FHP_REQUIRE(nodes64 <= kMaxIndexCount,
+              "flow gadget node count exceeds the index range");
+  const Count n = h.num_vertices();
+  const Count super_s = n + 2 * h.num_edges();
+  const Count super_t = super_s + 1;
   FlowNetwork net(super_t + 1);
   // Standard hyperedge gadget: cutting net e costs edge_weight(e) once.
   for (EdgeId e = 0; e < h.num_edges(); ++e) {
-    const std::uint32_t in = n + 2 * e;
-    const std::uint32_t out = in + 1;
+    const Count in = n + 2 * e;
+    const Count out = in + 1;
     net.add_arc(in, out, h.edge_weight(e));
     for (VertexId v : h.pins(e)) {
       net.add_arc(v, in, FlowNetwork::kInfiniteCapacity);

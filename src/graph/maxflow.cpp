@@ -4,16 +4,29 @@
 
 namespace fhp {
 
-FlowNetwork::FlowNetwork(std::uint32_t num_nodes)
-    : head_(num_nodes, kNoArc) {}
+FlowNetwork::FlowNetwork(Count num_nodes) {
+  // Admission before allocation: a hostile or miscomputed node count must
+  // fail typed, never wrap an id or demand count-proportional memory
+  // first. (Count can represent values past kMaxIndexCount — the unsigned
+  // range exceeds the signed Index range — so the check is meaningful on
+  // both index widths.)
+  FHP_REQUIRE(static_cast<std::uint64_t>(num_nodes) <= kMaxIndexCount,
+              "flow network node count exceeds the index range");
+  head_.assign(num_nodes, kNoArc);
+}
 
-std::uint32_t FlowNetwork::add_arc(std::uint32_t from, std::uint32_t to,
-                                   Capacity capacity) {
+Count FlowNetwork::add_arc(Count from, Count to, Capacity capacity) {
   FHP_REQUIRE(from < num_nodes() && to < num_nodes(),
               "arc endpoint out of range");
   FHP_REQUIRE(capacity >= 0, "arc capacity must be non-negative");
+  FHP_REQUIRE(capacity <= kInfiniteCapacity,
+              "arc capacity exceeds kInfiniteCapacity");
   FHP_REQUIRE(!solved_, "network already solved");
-  const auto id = static_cast<std::uint32_t>(arcs_.size());
+  // Arc ids must fit the index range with room for the residual partner
+  // (ids id and id^1); the xor-partner trick additionally needs id even.
+  FHP_REQUIRE(static_cast<std::uint64_t>(arcs_.size()) + 1 <= kMaxIndexCount,
+              "flow network arc count exceeds the index range");
+  const auto id = static_cast<Count>(arcs_.size());
   arcs_.push_back(Arc{to, head_[from], capacity});
   head_[from] = id;
   arcs_.push_back(Arc{from, head_[to], 0});
@@ -21,27 +34,27 @@ std::uint32_t FlowNetwork::add_arc(std::uint32_t from, std::uint32_t to,
   return id;
 }
 
-bool FlowNetwork::build_levels(std::uint32_t source, std::uint32_t sink) {
-  level_.assign(num_nodes(), 0xffffffffU);
+bool FlowNetwork::build_levels(Count source, Count sink) {
+  level_.assign(num_nodes(), kNoLevel);
   level_[source] = 0;
-  std::vector<std::uint32_t> queue{source};
+  std::vector<Count> queue{source};
   for (std::size_t headpos = 0; headpos < queue.size(); ++headpos) {
-    const std::uint32_t u = queue[headpos];
-    for (std::uint32_t a = head_[u]; a != kNoArc; a = arcs_[a].next) {
+    const Count u = queue[headpos];
+    for (Count a = head_[u]; a != kNoArc; a = arcs_[a].next) {
       const Arc& arc = arcs_[a];
-      if (arc.residual > 0 && level_[arc.to] == 0xffffffffU) {
+      if (arc.residual > 0 && level_[arc.to] == kNoLevel) {
         level_[arc.to] = level_[u] + 1;
         queue.push_back(arc.to);
       }
     }
   }
-  return level_[sink] != 0xffffffffU;
+  return level_[sink] != kNoLevel;
 }
 
-FlowNetwork::Capacity FlowNetwork::push(std::uint32_t node,
-                                        std::uint32_t sink, Capacity limit) {
+FlowNetwork::Capacity FlowNetwork::push(Count node, Count sink,
+                                        Capacity limit) {
   if (node == sink) return limit;
-  for (std::uint32_t& a = iter_[node]; a != kNoArc; a = arcs_[a].next) {
+  for (Count& a = iter_[node]; a != kNoArc; a = arcs_[a].next) {
     Arc& arc = arcs_[a];
     if (arc.residual <= 0 || level_[arc.to] != level_[node] + 1) continue;
     const Capacity sent =
@@ -55,8 +68,7 @@ FlowNetwork::Capacity FlowNetwork::push(std::uint32_t node,
   return 0;
 }
 
-FlowNetwork::Capacity FlowNetwork::max_flow(std::uint32_t source,
-                                            std::uint32_t sink) {
+FlowNetwork::Capacity FlowNetwork::max_flow(Count source, Count sink) {
   FHP_REQUIRE(source < num_nodes() && sink < num_nodes(),
               "terminal out of range");
   FHP_REQUIRE(source != sink, "source and sink must differ");
@@ -79,11 +91,11 @@ FlowNetwork::Capacity FlowNetwork::max_flow(std::uint32_t source,
 std::vector<std::uint8_t> FlowNetwork::min_cut_side() const {
   FHP_REQUIRE(solved_, "call max_flow() first");
   std::vector<std::uint8_t> side(num_nodes(), 0);
-  std::vector<std::uint32_t> queue{source_};
+  std::vector<Count> queue{source_};
   side[source_] = 1;
   for (std::size_t headpos = 0; headpos < queue.size(); ++headpos) {
-    const std::uint32_t u = queue[headpos];
-    for (std::uint32_t a = head_[u]; a != kNoArc; a = arcs_[a].next) {
+    const Count u = queue[headpos];
+    for (Count a = head_[u]; a != kNoArc; a = arcs_[a].next) {
       const Arc& arc = arcs_[a];
       if (arc.residual > 0 && !side[arc.to]) {
         side[arc.to] = 1;

@@ -4,10 +4,19 @@
 ///
 /// Substrate for the network-flow bipartitioning family the paper lists
 /// among its competitors (§1: Chopra [7]; Hu–Moerder multiterminal
-/// hypergraph flows [16]). Also reusable on its own.
+/// hypergraph flows [16]) and for the multilevel engine's corridor flow
+/// refiner (src/multilevel/flow_refine.hpp). Also reusable on its own.
+///
+/// Node and arc ids are fhp::Count — the build-configured index width
+/// (util/ids.hpp). Under `-DFHP_INDEX_64=ON` the Lawler hyperedge gadget
+/// (2·|corridor| + 2·nets nodes) of a million-module corridor indexes
+/// without overflow; on the default 32-bit build the constructor and
+/// add_arc() reject counts past kMaxIndexCount with a typed error before
+/// any count-proportional allocation, so ids can never silently wrap.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/error.hpp"
@@ -21,28 +30,40 @@ namespace fhp {
 class FlowNetwork {
  public:
   /// Capacity type; kInfiniteCapacity models the "uncuttable" arcs of the
-  /// standard hyperedge gadget.
+  /// standard hyperedge gadget. Finite capacities must stay strictly
+  /// below it (add_arc rejects larger ones): residual updates add at most
+  /// one total-flow's worth of weight to a reverse arc, and with every
+  /// finite capacity < 2^60 the running sums stay clear of int64 overflow.
   using Capacity = std::int64_t;
   static constexpr Capacity kInfiniteCapacity =
       std::int64_t{1} << 60;
 
-  /// Creates a network with \p num_nodes nodes and no arcs.
-  explicit FlowNetwork(std::uint32_t num_nodes);
+  /// Creates a network with \p num_nodes nodes and no arcs. \p num_nodes
+  /// must be admissible for the build's index width (<= kMaxIndexCount);
+  /// violations throw PreconditionError before anything is allocated.
+  explicit FlowNetwork(Count num_nodes);
 
   /// Number of nodes.
-  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
-    return static_cast<std::uint32_t>(head_.size());
+  [[nodiscard]] Count num_nodes() const noexcept {
+    return static_cast<Count>(head_.size());
+  }
+
+  /// Number of directed arcs stored (two per add_arc call: the forward
+  /// arc and its zero-capacity residual partner).
+  [[nodiscard]] Count num_arcs() const noexcept {
+    return static_cast<Count>(arcs_.size());
   }
 
   /// Adds a directed arc from \p from to \p to with capacity \p capacity
   /// (and a zero-capacity reverse residual arc). Returns the arc id.
-  std::uint32_t add_arc(std::uint32_t from, std::uint32_t to,
-                        Capacity capacity);
+  /// Capacities above kInfiniteCapacity and arc counts past
+  /// kMaxIndexCount fail typed.
+  Count add_arc(Count from, Count to, Capacity capacity);
 
   /// Computes the maximum flow from \p source to \p sink; callable once
   /// per network (capacities are consumed). O(V^2 E) worst case, far
   /// better on the unit-ish networks used here.
-  Capacity max_flow(std::uint32_t source, std::uint32_t sink);
+  Capacity max_flow(Count source, Count sink);
 
   /// After max_flow(): marker per node, 1 = reachable from the source in
   /// the residual network (the source side of a minimum cut).
@@ -50,22 +71,23 @@ class FlowNetwork {
 
  private:
   struct Arc {
-    std::uint32_t to;
-    std::uint32_t next;  ///< next arc id in the from-node's list
+    Count to;
+    Count next;  ///< next arc id in the from-node's list
     Capacity residual;
   };
 
-  bool build_levels(std::uint32_t source, std::uint32_t sink);
-  Capacity push(std::uint32_t node, std::uint32_t sink, Capacity limit);
+  bool build_levels(Count source, Count sink);
+  Capacity push(Count node, Count sink, Capacity limit);
 
-  std::vector<std::uint32_t> head_;  ///< first arc id per node
-  std::vector<Arc> arcs_;            ///< arc i and i^1 are partners
-  std::vector<std::uint32_t> level_;
-  std::vector<std::uint32_t> iter_;
-  std::uint32_t source_ = 0;
+  std::vector<Count> head_;  ///< first arc id per node
+  std::vector<Arc> arcs_;    ///< arc i and i^1 are partners
+  std::vector<Count> level_;
+  std::vector<Count> iter_;
+  Count source_ = 0;
   bool solved_ = false;
 
-  static constexpr std::uint32_t kNoArc = 0xffffffffU;
+  static constexpr Count kNoArc = std::numeric_limits<Count>::max();
+  static constexpr Count kNoLevel = std::numeric_limits<Count>::max();
 };
 
 }  // namespace fhp

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
@@ -75,8 +76,9 @@ MultilevelResult multilevel_partition(const Hypergraph& h,
 
 MultilevelResult multilevel_partition(const Hypergraph& h,
                                       const EngineOptions& options) {
-  FmRefiner refiner(options.refine);
-  return multilevel_partition(h, options, refiner);
+  const std::unique_ptr<Refiner> refiner =
+      make_refiner(options.refiner, options.refine, options.flow_refine);
+  return multilevel_partition(h, options, *refiner);
 }
 
 const char* to_string(EngineChoice choice) noexcept {
@@ -103,6 +105,17 @@ EngineResult partition_auto(const Hypergraph& h, const PartitionPlan& plan) {
     result.sides = std::move(flat.sides);
     result.metrics = flat.metrics;
     result.engine_used = EngineChoice::kFlat;
+    if (plan.refiner != RefinerChoice::kFm && h.num_vertices() >= 2) {
+      // Flat-path flow post-pass: one corridor-flow refinement over the
+      // Algorithm I result (plus FM polish under flow+fm) — the cheap way
+      // to buy flow quality without the V-cycle.
+      FHP_HIST_SCOPE_US("alg1/flow_refine_us");
+      const std::unique_ptr<Refiner> post =
+          make_refiner(plan.refiner, plan.refine, plan.flow_refine);
+      if (post->refine(h, result.sides, plan.algorithm1.seed) > 0) {
+        result.metrics = compute_metrics(Bipartition(h, result.sides));
+      }
+    }
     return result;
   }
   EngineOptions options;
@@ -110,6 +123,8 @@ EngineResult partition_auto(const Hypergraph& h, const PartitionPlan& plan) {
   options.initial = plan.algorithm1;
   options.initial.num_starts = plan.coarse_num_starts;
   options.refine = plan.refine;
+  options.refiner = plan.refiner;
+  options.flow_refine = plan.flow_refine;
   options.seed = plan.algorithm1.seed;
   options.threads = plan.algorithm1.threads;
   MultilevelResult ml = multilevel_partition(h, options);

@@ -23,6 +23,7 @@
 
 #include "core/algorithm1.hpp"
 #include "multilevel/coarsen.hpp"
+#include "multilevel/flow_refine.hpp"
 #include "multilevel/refine.hpp"
 #include "partition/metrics.hpp"
 
@@ -50,6 +51,11 @@ struct EngineOptions {
   Algorithm1Options initial = default_initial_options();
   /// Per-level FM refinement knobs (see FmRefiner).
   FmRefinerOptions refine;
+  /// Which per-level refiner the default overload runs: boundary FM,
+  /// corridor flow, or flow followed by FM polish (flow_refine.hpp).
+  RefinerChoice refiner = RefinerChoice::kFm;
+  /// Corridor-flow knobs (used when `refiner` involves flow).
+  FlowRefinerOptions flow_refine;
   /// Master seed: the initial partitioner uses it directly; refinement
   /// seeds are forked per level (Rng::fork), so runs are reproducible.
   std::uint64_t seed = 1;
@@ -69,7 +75,8 @@ struct MultilevelResult {
   Weight refine_improvement = 0;    ///< total cut weight removed by refinement
 };
 
-/// Runs the V-cycle with the default FM refiner. Requires >= 2 modules.
+/// Runs the V-cycle with the refiner selected by options.refiner.
+/// Requires >= 2 modules.
 [[nodiscard]] MultilevelResult multilevel_partition(
     const Hypergraph& h, const EngineOptions& options = {});
 
@@ -104,6 +111,13 @@ struct PartitionPlan {
   Algorithm1Options algorithm1;
   CoarseningOptions coarsening;
   FmRefinerOptions refine;
+  /// Per-level refiner of the multilevel path. On the flat path any
+  /// flow-involving choice adds one corridor-flow post-pass after
+  /// Algorithm I (histogram alg1/flow_refine_us) — plus FM polish for
+  /// kFlowFm — so `--refiner` upgrades both engines.
+  RefinerChoice refiner = RefinerChoice::kFm;
+  /// Corridor-flow knobs (used when `refiner` involves flow).
+  FlowRefinerOptions flow_refine;
   /// Multi-start budget of the coarsest-level partitioner on the
   /// multilevel path (overrides algorithm1.num_starts there — see
   /// default_initial_options() for why 12 suffices). The flat path keeps

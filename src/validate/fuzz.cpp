@@ -13,6 +13,8 @@
 #include "gen/random_hypergraph.hpp"
 #include "gen/structured.hpp"
 #include "hypergraph/io.hpp"
+#include "multilevel/flow_refine.hpp"
+#include "partition/partition.hpp"
 #include "util/rng.hpp"
 #include "validate/audit.hpp"
 
@@ -174,11 +176,47 @@ struct Harness {
       report.merge(audit_graphs_identical(fast, intersection_graph_reference(h)));
       if (!report.ok()) {
         fail("algorithm1 audit: " + report.to_string());
-      } else {
-        ++stats.partitioned;
+        return;
       }
+      ++stats.partitioned;
+      flow_refine_checks(h, result.sides, rng);
     } catch (const std::exception& ex) {
       fail(std::string("algorithm1 raised on a well-formed instance: ") +
+           ex.what());
+    }
+  }
+
+  /// The corridor-flow leg of the partition stage: refine the audited
+  /// Algorithm I result and hold the refiner to its contract — the cut
+  /// never grows, the reported improvement is exactly the cut delta, and
+  /// the refined assignment still audits clean.
+  void flow_refine_checks(const Hypergraph& h,
+                          const std::vector<std::uint8_t>& start, Rng& rng) {
+    std::vector<std::uint8_t> sides = start;
+    try {
+      const Weight before = Bipartition(h, sides).cut_weight();
+      ml::FlowRefiner refiner;
+      const Weight improvement = refiner.refine(h, sides, rng());
+      const Weight after = Bipartition(h, sides).cut_weight();
+      if (improvement < 0) {
+        fail("flow refiner reported negative improvement");
+        return;
+      }
+      if (after > before || improvement != before - after) {
+        std::ostringstream os;
+        os << "flow refiner broke its cut contract: before " << before
+           << ", after " << after << ", claimed improvement " << improvement;
+        fail(os.str());
+        return;
+      }
+      const AuditReport report = audit_partition(h, sides);
+      if (!report.ok()) {
+        fail("flow-refined partition failed audit: " + report.to_string());
+        return;
+      }
+      ++stats.flow_refined;
+    } catch (const std::exception& ex) {
+      fail(std::string("flow refiner raised on a well-formed instance: ") +
            ex.what());
     }
   }
@@ -373,8 +411,8 @@ std::string FuzzStats::to_string() const {
   std::ostringstream os;
   os << instances << " instances, " << mutated << " mutated, " << parsed
      << " parsed, " << rejected << " rejected, " << partitioned
-     << " partitioned, " << round_trips << " round-trips, "
-     << failures.size() << " failures";
+     << " partitioned, " << flow_refined << " flow-refined, " << round_trips
+     << " round-trips, " << failures.size() << " failures";
   for (const FuzzFailure& f : failures) {
     os << "\n  [" << f.generator << " #" << f.instance << "] " << f.what;
   }

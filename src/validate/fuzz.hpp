@@ -69,6 +69,7 @@ struct FuzzStats {
   std::size_t parsed = 0;       ///< successful parses across channels
   std::size_t rejected = 0;     ///< typed IoError rejections (expected)
   std::size_t partitioned = 0;  ///< instances driven through Algorithm I
+  std::size_t flow_refined = 0;  ///< partitions driven through FlowRefiner
   std::size_t round_trips = 0;  ///< byte-identical / fixed-point re-reads
   std::vector<FuzzFailure> failures;
 

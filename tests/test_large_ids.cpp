@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "graph/maxflow.hpp"
 #include "hypergraph/bookshelf.hpp"
 #include "hypergraph/io.hpp"
 #include "test_helpers.hpp"
@@ -126,6 +127,20 @@ TEST(LargeIds, BookshelfCountsBeyondInt64AreRejectedOnEveryBuild) {
       kSmallNodes,
       "UCLA nets 1.0\nNumNets : 9999999999999999999\nNumPins : 1\n"
       "NetDegree : 1\n  a B\n");
+}
+
+TEST(LargeIds, FlowNetworkNodeCountBeyondIndexRangeIsRejected) {
+  // The Lawler gadget sizes a FlowNetwork at 2·|corridor| + 2·nets + 2
+  // nodes; on 32-bit-index builds a corridor past 2^31 nodes must fail
+  // typed in the constructor *before* any per-node allocation. (On idx64
+  // builds the same count is admissible — and a multi-GiB adjacency — so
+  // the hostile probe only runs where rejection is the contract.)
+  if constexpr (sizeof(VertexId) == 4) {
+    EXPECT_THROW(FlowNetwork net(static_cast<Count>(2147483648ULL)),
+                 PreconditionError);
+  }
+  static_assert(FlowNetwork::kInfiniteCapacity <
+                std::numeric_limits<FlowNetwork::Capacity>::max() / 2);
 }
 
 TEST(LargeIds, HostileBookshelfCountsFailBeforeAllocation) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/rng.hpp"
 
 namespace fhp {
@@ -106,6 +108,19 @@ TEST(MaxFlow, Preconditions) {
   net.add_arc(0, 1, 1);
   (void)net.max_flow(0, 1);
   EXPECT_THROW(net.add_arc(0, 1, 1), PreconditionError);  // solved
+}
+
+TEST(MaxFlow, CapacityCeilingIsTypedNotSaturating) {
+  // kInfiniteCapacity itself is the uncuttable-arc sentinel and is
+  // admitted; anything beyond it must fail typed so gadget builders in a
+  // near-int64 weight regime cannot silently saturate past it.
+  FlowNetwork net(2);
+  net.add_arc(0, 1, FlowNetwork::kInfiniteCapacity);
+  EXPECT_THROW(net.add_arc(0, 1, FlowNetwork::kInfiniteCapacity + 1),
+               PreconditionError);
+  EXPECT_THROW(net.add_arc(1, 0, std::numeric_limits<Weight>::max()),
+               PreconditionError);
+  EXPECT_EQ(net.num_arcs(), 2);  // forward + residual of the single arc
 }
 
 }  // namespace

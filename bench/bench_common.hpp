@@ -28,6 +28,7 @@
 #include "gen/planted.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "obs/report.hpp"
+#include "util/json.hpp"
 #include "util/memory.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -132,27 +133,30 @@ class BenchRecorder {
   /// benchdiff can reason about tails.
   [[nodiscard]] std::string to_json() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto stats_json = [](const std::vector<double>& xs) {
-      char buffer[224];
-      std::snprintf(buffer, sizeof(buffer),
-                    "{\"mean\": %.9g, \"median\": %.9g, \"min\": %.9g, "
-                    "\"max\": %.9g, \"p90\": %.9g, \"p99\": %.9g}",
-                    mean(xs), quantile(xs, 0.5), quantile(xs, 0.0),
-                    quantile(xs, 1.0), quantile(xs, 0.9),
-                    quantile(xs, 0.99));
-      return std::string(buffer);
+    json::Writer w;
+    const auto stats_object = [&w](const std::vector<double>& xs) {
+      w.begin_object();
+      w.member("mean", mean(xs));
+      w.member("median", quantile(xs, 0.5));
+      w.member("min", quantile(xs, 0.0));
+      w.member("max", quantile(xs, 1.0));
+      w.member("p90", quantile(xs, 0.9));
+      w.member("p99", quantile(xs, 0.99));
+      w.end_object();
     };
-    std::string out = "{";
-    for (std::size_t i = 0; i < order_.size(); ++i) {
-      const Series& series = series_.at(order_[i]);
-      if (i > 0) out += ", ";
-      out += "\"" + obs::json_escape(order_[i]) + "\": {\"runs\": " +
-             std::to_string(series.seconds.size()) +
-             ", \"seconds\": " + stats_json(series.seconds) +
-             ", \"cut\": " + stats_json(series.cuts) + "}";
+    w.begin_object();
+    for (const std::string& label : order_) {
+      const Series& series = series_.at(label);
+      w.key(label).begin_object();
+      w.member("runs", series.seconds.size());
+      w.key("seconds");
+      stats_object(series.seconds);
+      w.key("cut");
+      stats_object(series.cuts);
+      w.end_object();
     }
-    out += "}";
-    return out;
+    w.end_object();
+    return std::move(w).take();
   }
 
  private:
@@ -228,7 +232,12 @@ std::vector<TimedRun> measure_trials(const char* label, int trials,
   std::vector<TimedRun> runs;
   const auto n = static_cast<std::size_t>(trials);
   if (pool != nullptr && pool->thread_count() > 1 && trials > 1) {
+    // Same `pool/` gauges the serving layer publishes (docs/serving.md),
+    // so run reports state which pool shape produced the trials.
+    FHP_GAUGE_SET("pool/lanes", pool->lane_count());
     runs = pool->parallel_map<TimedRun>(n, one);
+    FHP_GAUGE_SET("pool/pending_chunks",
+                  static_cast<double>(pool->pending_chunks()));
   } else {
     runs.reserve(n);
     for (std::size_t i = 0; i < n; ++i) runs.push_back(one(i));
@@ -296,28 +305,24 @@ inline void print_header(const std::string& title) {
 /// scan-rate numbers from a 4-thread laptop and a 64-thread server are
 /// not comparable, and the artifact must say which one it was.
 inline std::string env_fingerprint_json() {
-  std::string out = "{\"git_sha\": \"";
-  out += obs::json_escape(FHP_GIT_SHA);
-  out += "\", \"build_type\": \"";
-  out += obs::json_escape(FHP_BUILD_TYPE);
-  out += "\", \"compiler\": \"";
-  out += obs::json_escape(__VERSION__);
-  out += "\", \"cxx_standard\": " + std::to_string(__cplusplus);
+  json::Writer w;
+  w.begin_object();
+  w.member("git_sha", FHP_GIT_SHA);
+  w.member("build_type", FHP_BUILD_TYPE);
+  w.member("compiler", __VERSION__);
+  w.member("cxx_standard", static_cast<long long>(__cplusplus));
 #ifdef NDEBUG
-  out += ", \"assertions\": false";
+  w.member("assertions", false);
 #else
-  out += ", \"assertions\": true";
+  w.member("assertions", true);
 #endif
-  out += ", \"tracing_compiled\": ";
-  out += (FHP_TRACING_ENABLED != 0) ? "true" : "false";
-  out += ", \"pointer_bits\": " + std::to_string(sizeof(void*) * 8);
-  out += ", \"index_bits\": " + std::to_string(sizeof(Index) * 8);
-  out += ", \"hardware_threads\": " +
-         std::to_string(std::thread::hardware_concurrency());
-  out += ", \"resolved_default_threads\": " +
-         std::to_string(resolve_threads(0));
-  out += "}";
-  return out;
+  w.member("tracing_compiled", FHP_TRACING_ENABLED != 0);
+  w.member("pointer_bits", sizeof(void*) * 8);
+  w.member("index_bits", sizeof(Index) * 8);
+  w.member("hardware_threads", std::thread::hardware_concurrency());
+  w.member("resolved_default_threads", resolve_threads(0));
+  w.end_object();
+  return std::move(w).take();
 }
 
 /// RAII run-report scope for a bench executable. Construct first thing in
@@ -354,15 +359,19 @@ class BenchSession {
       std::printf("\n%s", obs::to_tree_string(report).c_str());
     }
 
-    std::string json = "{\"bench\": \"" + obs::json_escape(name_) + "\"";
-    json += ", \"generated_unix\": " +
-            std::to_string(static_cast<long long>(std::time(nullptr)));
-    json += ", \"env\": " + env_fingerprint_json();
+    json::Writer w;
+    w.begin_object();
+    w.member("bench", name_);
+    w.member("generated_unix",
+             static_cast<long long>(std::time(nullptr)));
+    w.member_raw("env", env_fingerprint_json());
     // Top-level copy of the RSS sample (it also sits in the trace gauges)
     // so ledger queries and benchdiff reach it without digging.
-    json += ", \"peak_rss_bytes\": " + std::to_string(peak_rss_bytes());
-    json += ", \"series\": " + BenchRecorder::instance().to_json();
-    json += ", \"trace\": " + obs::to_json(report) + "}\n";
+    w.member("peak_rss_bytes", peak_rss_bytes());
+    w.member_raw("series", BenchRecorder::instance().to_json());
+    w.member_raw("trace", obs::to_json(report));
+    w.end_object();
+    const std::string json = std::move(w).take() + "\n";
 
     const char* dir = std::getenv("FHP_BENCH_JSON_DIR");
     const std::string json_dir =

@@ -68,6 +68,33 @@ int main() {
   FHP_GAUGE_SET("bench/speedup_4t", s4);
   FHP_GAUGE_SET("bench/speedup_8t", s8);
 
+  // Speedup gates scale to the host: on a box that cannot physically show
+  // parallel speedup (single-core CI containers time-slice one CPU and
+  // every ratio hovers around 1.0) the thresholds become advisory prints
+  // instead of failures — the gauges above still record the curve.
+  const unsigned hw = std::thread::hardware_concurrency();
+  FHP_GAUGE_SET("bench/hardware_threads", static_cast<double>(hw));
+  if (hw >= 4) {
+    if (s4 < 1.8) {
+      std::fprintf(stderr,
+                   "FAIL: %.2fx speedup at 4 lanes on a %u-thread host "
+                   "(expected >= 1.8x)\n",
+                   s4, hw);
+      return 1;
+    }
+  } else if (hw >= 2) {
+    if (s2 < 1.2) {
+      std::fprintf(stderr,
+                   "FAIL: %.2fx speedup at 2 lanes on a %u-thread host "
+                   "(expected >= 1.2x)\n",
+                   s2, hw);
+      return 1;
+    }
+  } else {
+    std::printf(
+        "  advisory: single hardware thread; speedup thresholds skipped\n");
+  }
+
   // Orthogonal use of the substrate: independent *trials* (distinct seeds,
   // each run serial) spread across a pool via measure_trials — the
   // repetition-level parallelism mode of the harness.

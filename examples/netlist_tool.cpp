@@ -49,6 +49,7 @@
 #include "multilevel/engine.hpp"
 #include "obs/report.hpp"
 #include "partition/report.hpp"
+#include "util/json.hpp"
 #include "util/memory.hpp"
 #include "util/timer.hpp"
 
@@ -315,22 +316,23 @@ bool emit_observability(const CliOptions& cli) {
 }
 
 /// Common prefix of the --metrics-out document: the invocation that
-/// produced the run, so a metrics file is self-describing.
-std::string metrics_prelude(const CliOptions& cli, double seconds) {
-  std::string json = "{\"tool\": \"netlist_tool\"";
-  json += ", \"input\": \"" + obs::json_escape(cli.input) + "\"";
-  json += ", \"format\": \"" + obs::json_escape(cli.format) + "\"";
-  json += ", \"algorithm\": \"" + obs::json_escape(cli.algorithm) + "\"";
-  json += ", \"kway\": " + std::to_string(cli.kway > 2 ? cli.kway : 2);
-  json += ", \"starts\": " + std::to_string(cli.starts);
-  json += ", \"threshold\": " + std::to_string(cli.threshold);
-  json += ", \"seed\": " + std::to_string(cli.seed);
-  json += std::string(", \"refined\": ") + (cli.refine ? "true" : "false");
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.9g", seconds);
-  json += std::string(", \"runtime_seconds\": ") + buffer;
-  json += ", \"peak_rss_bytes\": " + std::to_string(peak_rss_bytes());
-  return json;
+/// produced the run, so a metrics file is self-describing. The returned
+/// writer holds an open root object for the caller to extend and close.
+json::Writer metrics_prelude(const CliOptions& cli, double seconds) {
+  json::Writer w;
+  w.begin_object();
+  w.member("tool", "netlist_tool");
+  w.member("input", cli.input);
+  w.member("format", cli.format);
+  w.member("algorithm", cli.algorithm);
+  w.member("kway", cli.kway > 2 ? cli.kway : 2);
+  w.member("starts", cli.starts);
+  w.member("threshold", cli.threshold);
+  w.member("seed", cli.seed);
+  w.member("refined", cli.refine);
+  w.member("runtime_seconds", seconds);
+  w.member("peak_rss_bytes", peak_rss_bytes());
+  return w;
 }
 
 /// Writes the --metrics-out document for the bipartition path. \p engine
@@ -341,41 +343,43 @@ bool write_metrics_file(const CliOptions& cli, const PartitionMetrics& m,
                         double seconds, const std::string& engine,
                         int ml_levels) {
   if (cli.metrics_path.empty()) return true;
-  std::string json = metrics_prelude(cli, seconds);
-  json += ", \"engine\": \"" + obs::json_escape(engine) + "\"";
-  json += ", \"ml_levels\": " + std::to_string(ml_levels);
-  char buffer[64];
-  json += ", \"metrics\": {\"cut_edges\": " + std::to_string(m.cut_edges);
-  json += ", \"cut_weight\": " + std::to_string(m.cut_weight);
-  json += ", \"left_count\": " + std::to_string(m.left_count);
-  json += ", \"right_count\": " + std::to_string(m.right_count);
-  json += ", \"left_weight\": " + std::to_string(m.left_weight);
-  json += ", \"right_weight\": " + std::to_string(m.right_weight);
-  json += ", \"cardinality_imbalance\": " +
-          std::to_string(m.cardinality_imbalance);
-  json += ", \"weight_imbalance\": " + std::to_string(m.weight_imbalance);
-  std::snprintf(buffer, sizeof(buffer), "%.9g", m.quotient_cut);
-  json += std::string(", \"quotient_cut\": ") + buffer;
-  std::snprintf(buffer, sizeof(buffer), "%.9g", m.ratio_cut);
-  json += std::string(", \"ratio_cut\": ") + buffer;
-  json += std::string(", \"proper\": ") + (m.proper ? "true" : "false") + "}";
-  json += ", \"trace\": " + obs::to_json(obs::snapshot()) + "}\n";
-  return write_text_file(cli.metrics_path, json, "metrics");
+  json::Writer w = metrics_prelude(cli, seconds);
+  w.member("engine", engine);
+  w.member("ml_levels", ml_levels);
+  w.key("metrics").begin_object();
+  w.member("cut_edges", m.cut_edges);
+  w.member("cut_weight", m.cut_weight);
+  w.member("left_count", m.left_count);
+  w.member("right_count", m.right_count);
+  w.member("left_weight", m.left_weight);
+  w.member("right_weight", m.right_weight);
+  w.member("cardinality_imbalance", m.cardinality_imbalance);
+  w.member("weight_imbalance", m.weight_imbalance);
+  w.member("quotient_cut", m.quotient_cut);
+  w.member("ratio_cut", m.ratio_cut);
+  w.member("proper", m.proper);
+  w.end_object();
+  w.member_raw("trace", obs::to_json(obs::snapshot()));
+  w.end_object();
+  return write_text_file(cli.metrics_path, std::move(w).take() + "\n",
+                         "metrics");
 }
 
 /// Writes the --metrics-out document for the recursive k-way path.
 bool write_metrics_file(const CliOptions& cli, const KWayResult& r,
                         double seconds) {
   if (cli.metrics_path.empty()) return true;
-  std::string json = metrics_prelude(cli, seconds);
-  json += ", \"metrics\": {\"parts\": " + std::to_string(cli.kway);
-  json += ", \"spanning_nets\": " + std::to_string(r.cut_edges);
-  json += ", \"min_part_weight\": " +
-          std::to_string(static_cast<long long>(r.min_part_weight));
-  json += ", \"max_part_weight\": " +
-          std::to_string(static_cast<long long>(r.max_part_weight)) + "}";
-  json += ", \"trace\": " + obs::to_json(obs::snapshot()) + "}\n";
-  return write_text_file(cli.metrics_path, json, "metrics");
+  json::Writer w = metrics_prelude(cli, seconds);
+  w.key("metrics").begin_object();
+  w.member("parts", cli.kway);
+  w.member("spanning_nets", r.cut_edges);
+  w.member("min_part_weight", static_cast<long long>(r.min_part_weight));
+  w.member("max_part_weight", static_cast<long long>(r.max_part_weight));
+  w.end_object();
+  w.member_raw("trace", obs::to_json(obs::snapshot()));
+  w.end_object();
+  return write_text_file(cli.metrics_path, std::move(w).take() + "\n",
+                         "metrics");
 }
 
 }  // namespace

@@ -622,6 +622,13 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
   for (std::size_t i = 0; i < lanes; ++i) {
     scratch.push_back(std::make_unique<Algorithm1Context::StartScratch>());
   }
+  // current_lane() is only a valid index into `scratch` INSIDE a region
+  // of this call's own pool (where the caller is normalized to 0 and
+  // workers are 1..N-1). On the serial paths the executing thread may be
+  // a worker of an *outer* pool — e.g. the serving layer batching
+  // independent partition calls across its lanes — whose lane id has
+  // nothing to do with this scratch vector, so serial call sites must
+  // index lane 0 explicitly.
   auto lane_scratch = [&]() -> Algorithm1Context::StartScratch& {
     return *scratch[static_cast<std::size_t>(ThreadPool::current_lane())];
   };
@@ -640,8 +647,8 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
     //      with the strict better() this elects exactly the candidate the
     //      unmemoized loop would.
     std::vector<DiameterPair> pairs(starts.size());
-    auto find_range = [&](std::size_t begin, std::size_t end) {
-      Algorithm1Context::StartScratch& s = lane_scratch();
+    auto find_range = [&](std::size_t begin, std::size_t end,
+                          Algorithm1Context::StartScratch& s) {
       for (std::size_t i = begin; i < end; ++i) {
         FHP_COUNTER_ADD("alg1/starts_examined", 1);
         FHP_HIST_SCOPE_US("alg1/pair_find_us");
@@ -650,9 +657,12 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
     };
     if (parallel) {
       FHP_COUNTER_ADD("alg1/parallel_start_batches", 1);
-      pool->parallel_for(starts.size(), 1, find_range);
+      pool->parallel_for(starts.size(), 1,
+                         [&](std::size_t begin, std::size_t end) {
+                           find_range(begin, end, lane_scratch());
+                         });
     } else {
-      find_range(0, starts.size());
+      find_range(0, starts.size(), *scratch[0]);
     }
 
     std::vector<std::size_t> owner(starts.size());
@@ -677,8 +687,8 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
       if (owner[i] == i) owners.push_back(i);
     }
     std::vector<Algorithm1Result> completed(starts.size());
-    auto complete_range = [&](std::size_t begin, std::size_t end) {
-      Algorithm1Context::StartScratch& s = lane_scratch();
+    auto complete_range = [&](std::size_t begin, std::size_t end,
+                              Algorithm1Context::StartScratch& s) {
       for (std::size_t i = begin; i < end; ++i) {
         // Same histogram as the unmemoized per-start path: a memo run's
         // "starts" are the unique pairs it actually completes.
@@ -687,9 +697,12 @@ Algorithm1Result algorithm1_impl(const Hypergraph& h,
       }
     };
     if (parallel && owners.size() > 1) {
-      pool->parallel_for(owners.size(), 1, complete_range);
+      pool->parallel_for(owners.size(), 1,
+                         [&](std::size_t begin, std::size_t end) {
+                           complete_range(begin, end, lane_scratch());
+                         });
     } else {
-      complete_range(0, owners.size());
+      complete_range(0, owners.size(), *scratch[0]);
     }
 
     for (std::size_t i = 0; i < starts.size(); ++i) {

@@ -182,4 +182,53 @@ void Hypergraph::finalize_from_edge_csr() {
   }
 }
 
+namespace {
+
+/// splitmix64 finalizer — the standard full-avalanche 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One streaming hash lane: absorb whole 64-bit words.
+struct HashLane {
+  std::uint64_t state;
+  constexpr void absorb(std::uint64_t word) noexcept {
+    state = mix64(state ^ word);
+  }
+};
+
+}  // namespace
+
+Hypergraph::Fingerprint Hypergraph::fingerprint() const noexcept {
+  // Two lanes with distinct seeds: a collision must fool two independent
+  // mixing chains at once. Every value is widened to uint64 before being
+  // absorbed so the fingerprint is identical across FHP_INDEX_64 builds.
+  HashLane a{0x8bad'f00d'1234'5678ULL};
+  HashLane b{0xc0ff'ee00'9abc'def0ULL};
+  const auto absorb = [&](std::uint64_t word) {
+    a.absorb(word);
+    b.absorb(word + 0x6a09'e667'f3bc'c909ULL);
+  };
+  absorb(static_cast<std::uint64_t>(num_vertices()));
+  absorb(static_cast<std::uint64_t>(num_edges()));
+  // The edge CSR determines the inverse incidence, so hashing offsets and
+  // pins covers the full structure; weights carry the rest of the content.
+  for (const std::size_t offset : edge_offsets_) {
+    absorb(static_cast<std::uint64_t>(offset));
+  }
+  for (const VertexId pin : edge_pins_) {
+    absorb(static_cast<std::uint64_t>(pin));
+  }
+  for (const Weight w : vertex_weights_) {
+    absorb(static_cast<std::uint64_t>(w));
+  }
+  for (const Weight w : edge_weights_) {
+    absorb(static_cast<std::uint64_t>(w));
+  }
+  return Fingerprint{a.state, b.state};
+}
+
 }  // namespace fhp

@@ -113,6 +113,24 @@ class Hypergraph {
   /// aborts on violation. Intended for tests and post-transform paranoia.
   void validate() const;
 
+  /// 128-bit content fingerprint: two independently seeded 64-bit mixing
+  /// lanes absorbed over the shape and the edge CSR + weight arrays.
+  struct Fingerprint {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    bool operator==(const Fingerprint&) const = default;
+  };
+
+  /// Content hash of this hypergraph: two structurally identical
+  /// hypergraphs (same vertex/edge counts, pin rows, and weights) have
+  /// equal fingerprints no matter how they were built (builder, from_csr,
+  /// either parser stack) or which index width the build uses — every
+  /// absorbed word is widened to 64 bits first, so a 32-bit client and a
+  /// 64-bit server agree. O(pins + vertices + edges); nothing is cached,
+  /// callers that key caches on it (the serving layer's result cache,
+  /// docs/serving.md) compute it once per ingest.
+  [[nodiscard]] Fingerprint fingerprint() const noexcept;
+
  private:
   friend class HypergraphBuilder;
 

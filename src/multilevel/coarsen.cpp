@@ -57,9 +57,8 @@ ClusteringResult heavy_edge_clustering(const Hypergraph& h,
   const int lanes = pool != nullptr ? pool->thread_count() : 1;
   std::vector<LaneScratch> scratch(static_cast<std::size_t>(lanes));
 
-  const auto rate_range = [&](std::size_t begin, std::size_t end) {
-    LaneScratch& s = scratch[static_cast<std::size_t>(
-        ThreadPool::current_lane())];
+  const auto rate_range = [&](std::size_t begin, std::size_t end,
+                              LaneScratch& s) {
     if (s.rating.size() < n) s.rating.assign(n, 0.0);
     for (std::size_t i = begin; i < end; ++i) {
       const auto v = static_cast<VertexId>(i);
@@ -97,10 +96,17 @@ ClusteringResult heavy_edge_clustering(const Hypergraph& h,
       preference[i] = best;
     }
   };
+  // current_lane() indexes `scratch` only inside a region of this pool;
+  // the serial path may execute on an outer pool's worker (whose lane id
+  // is unrelated to this scratch vector), so it uses lane 0 explicitly.
   if (pool != nullptr && pool->thread_count() > 1 && n > 1) {
-    pool->parallel_for(n, 128, rate_range);
+    pool->parallel_for(n, 128, [&](std::size_t begin, std::size_t end) {
+      rate_range(begin, end,
+                 scratch[static_cast<std::size_t>(
+                     ThreadPool::current_lane())]);
+    });
   } else {
-    rate_range(0, n);
+    rate_range(0, n, scratch[0]);
   }
 
   // ---- Agglomeration phase (serial, O(n)): sweep vertices in id order,

@@ -1,5 +1,7 @@
 #include "obs/report.hpp"
 
+#include "util/json.hpp"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -331,35 +333,9 @@ std::string to_chrome_trace(const TraceReport& report) {
 }
 
 std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          appendf(out, "\\u%04x", static_cast<unsigned>(c));
-        } else {
-          out += c;
-        }
-        break;
-    }
-  }
-  return out;
+  // One escaper for the whole codebase: the util/json Writer owns the
+  // escaping rules, and the obs exporters ride on it.
+  return json::escape(text);
 }
 
 }  // namespace fhp::obs

@@ -1,0 +1,120 @@
+/// \file cache.hpp
+/// Instance-level result cache of the partition daemon: maps
+/// (hypergraph fingerprint, partitioning configuration) to a finished
+/// EngineResult, evicting least-recently-used entries when the resident
+/// bytes exceed the configured budget.
+///
+/// Keys use Hypergraph::fingerprint() (128-bit content hash) mixed with a
+/// hash of the request configuration, so the same netlist partitioned with
+/// a different seed, start budget, engine, or refiner occupies its own
+/// entry. Deadline-degraded results are never inserted (scheduler.cpp) —
+/// the cache only holds full-quality answers, keeping hits bit-identical
+/// to a direct partition_auto() call at the same configuration.
+///
+/// Thread-safe: one mutex guards the map + LRU list (operations are O(1)
+/// hash/splice work, far below partitioning cost). Counters cache/{hits,
+/// misses,evictions,bytes} go to the obs layer AND to internal atomics so
+/// the stats op works in tracing-off builds.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "hypergraph/hypergraph.hpp"
+#include "multilevel/engine.hpp"
+
+namespace fhp::serve {
+
+/// Cache key: hypergraph content fingerprint + configuration hash.
+struct CacheKey {
+  Hypergraph::Fingerprint instance;
+  std::uint64_t config = 0;
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Configuration hash covering every request knob that changes the result
+/// (seed, start budget, engine, refiner). Deadline fields are excluded —
+/// degraded results bypass the cache entirely.
+[[nodiscard]] std::uint64_t config_hash(std::uint64_t seed, int starts,
+                                        ml::EngineChoice engine,
+                                        ml::RefinerChoice refiner) noexcept;
+
+/// Hasher for CacheKey-keyed maps (the cache index, the scheduler's
+/// in-flight table).
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept;
+};
+
+/// Running totals, readable without the obs layer.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t entries = 0;
+};
+
+/// LRU-by-bytes cache of EngineResults.
+class ResultCache {
+ public:
+  /// \p max_bytes bounds the resident payload bytes (sides vectors plus a
+  /// fixed per-entry overhead estimate); 0 disables caching entirely
+  /// (every lookup misses, inserts are dropped).
+  explicit ResultCache(std::uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Returns the cached result and refreshes recency (counted as a hit),
+  /// or nullopt. A lookup failure is NOT counted as a miss here: whether
+  /// it becomes one depends on what the scheduler does next (coalesce
+  /// onto an in-flight twin -> hit; admit as leader -> note_miss()).
+  [[nodiscard]] std::optional<ml::EngineResult> lookup(const CacheKey& key);
+
+  /// Counts one miss: called when a request is admitted as the leader of
+  /// a new flight (scheduler.cpp). Counting at admission rather than at
+  /// lookup keeps misses == unique executed keys even when followers race
+  /// the leader (their lookups fail too, but they coalesce into hits).
+  void note_miss();
+
+  /// Inserts (or refreshes) an entry, then evicts LRU entries until the
+  /// byte budget holds. An entry larger than the whole budget is dropped.
+  void insert(const CacheKey& key, const ml::EngineResult& result);
+
+  /// Counts a request served from an in-flight computation (single-flight
+  /// coalescing, scheduler.hpp) as a cache hit. Keeping the hit/miss
+  /// totals timing-independent — misses == unique keys, hits == the rest —
+  /// is what lets the benchdiff sentinel gate them exactly.
+  void note_coalesced_hit();
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    ml::EngineResult result;
+    std::uint64_t bytes = 0;
+  };
+  /// Resident-byte estimate of one entry (payload + bookkeeping).
+  [[nodiscard]] static std::uint64_t entry_bytes(
+      const ml::EngineResult& result) noexcept;
+
+  /// Evicts from the LRU tail until resident_bytes_ <= max_bytes_.
+  /// Requires the lock.
+  void evict_to_budget();
+
+  /// Publishes the byte/entry gauges to the obs layer. Requires the lock.
+  void publish_gauges() const;
+
+  const std::uint64_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace fhp::serve

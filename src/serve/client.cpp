@@ -1,0 +1,108 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace fhp::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      limits_(other.limits_),
+      next_id_(other.next_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    limits_ = other.limits_;
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& socket_path, FrameLimits limits) {
+  FHP_REQUIRE(!connected(), "client is already connected");
+  FHP_REQUIRE(socket_path.size() < sizeof(sockaddr_un{}.sun_path),
+              "socket path too long for AF_UNIX");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw IoError(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw IoError("connect(" + socket_path + ") failed: " + reason);
+  }
+  fd_ = fd;
+  limits_ = limits;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const Request& request) {
+  FHP_REQUIRE(connected(), "client is not connected");
+  write_frame(fd_, to_json(request), limits_);
+}
+
+Response Client::receive() {
+  FHP_REQUIRE(connected(), "client is not connected");
+  std::optional<std::string> payload = read_frame(fd_, limits_);
+  if (!payload.has_value()) {
+    throw ProtocolError("daemon closed the connection");
+  }
+  return parse_response(*payload);
+}
+
+Response Client::call(const Request& request) {
+  send(request);
+  return receive();
+}
+
+Response Client::partition(std::string hmetis_text,
+                           const RequestOptions& options) {
+  Request request;
+  request.op = Request::Op::kPartition;
+  request.id = next_id_++;
+  request.hypergraph = std::move(hmetis_text);
+  request.options = options;
+  return call(request);
+}
+
+Response Client::ping() {
+  Request request;
+  request.op = Request::Op::kPing;
+  request.id = next_id_++;
+  return call(request);
+}
+
+Response Client::stats() {
+  Request request;
+  request.op = Request::Op::kStats;
+  request.id = next_id_++;
+  return call(request);
+}
+
+Response Client::shutdown_server() {
+  Request request;
+  request.op = Request::Op::kShutdown;
+  request.id = next_id_++;
+  return call(request);
+}
+
+}  // namespace fhp::serve

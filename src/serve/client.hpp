@@ -1,0 +1,60 @@
+/// \file client.hpp
+/// Client library for the partition daemon: connects to the unix socket,
+/// speaks the framed JSON protocol, and offers blocking one-call
+/// conveniences plus a send()/receive() split for pipelined load
+/// generation (bench_serve's open-loop phases drive the two halves from
+/// separate threads; the socket supports full-duplex use).
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace fhp::serve {
+
+/// One connection to a daemon. Not thread-safe for concurrent send()s or
+/// concurrent receive()s, but one sender thread plus one receiver thread
+/// is supported (the two directions are independent).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon at \p socket_path. Throws IoError when the
+  /// daemon is not reachable.
+  void connect(const std::string& socket_path, FrameLimits limits = {});
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Fire-and-forget half: frames and writes one request.
+  void send(const Request& request);
+
+  /// Blocking read of the next response. Throws ProtocolError when the
+  /// daemon hung up or the stream is corrupt.
+  [[nodiscard]] Response receive();
+
+  /// send() + receive() for the sequential case.
+  [[nodiscard]] Response call(const Request& request);
+
+  /// Partitions an inline hMETIS netlist.
+  [[nodiscard]] Response partition(std::string hmetis_text,
+                                   const RequestOptions& options = {});
+
+  [[nodiscard]] Response ping();
+  [[nodiscard]] Response stats();
+
+  /// Asks the daemon to exit; returns its acknowledgement.
+  [[nodiscard]] Response shutdown_server();
+
+ private:
+  int fd_ = -1;
+  FrameLimits limits_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace fhp::serve

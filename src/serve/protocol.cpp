@@ -1,0 +1,378 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "multilevel/flow_refine.hpp"
+#include "util/json.hpp"
+
+namespace fhp::serve {
+
+namespace {
+
+[[nodiscard]] std::uint32_t decode_le32(const char* bytes) noexcept {
+  const auto* u = reinterpret_cast<const unsigned char*>(bytes);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+void encode_le32(std::uint32_t value, char out[kFrameHeaderBytes]) noexcept {
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+/// Validates a decoded header length against the limits; the single choke
+/// point of the fail-before-allocation policy.
+void check_header(std::uint32_t payload_bytes, const FrameLimits& limits) {
+  if (payload_bytes == 0) {
+    throw ProtocolError("frame error: zero-length payload");
+  }
+  if (payload_bytes > limits.max_frame_bytes) {
+    throw ProtocolError("frame error: payload length " +
+                        std::to_string(payload_bytes) +
+                        " exceeds limit of " +
+                        std::to_string(limits.max_frame_bytes) + " bytes");
+  }
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload, const FrameLimits& limits) {
+  if (payload.empty() || payload.size() > limits.max_frame_bytes) {
+    throw ProtocolError("frame error: refusing to encode payload of " +
+                        std::to_string(payload.size()) + " bytes (limit " +
+                        std::to_string(limits.max_frame_bytes) + ")");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  char header[kFrameHeaderBytes];
+  encode_le32(static_cast<std::uint32_t>(payload.size()), header);
+  frame.append(header, kFrameHeaderBytes);
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  // Reject a hostile header before buffering grows past it: once the four
+  // header bytes are visible, validate them even if the caller handed us a
+  // giant chunk in one feed() call.
+  if (buffer_.size() < kFrameHeaderBytes) {
+    const std::size_t need = kFrameHeaderBytes - buffer_.size();
+    const std::size_t take = std::min(need, bytes.size());
+    buffer_.append(bytes.substr(0, take));
+    bytes.remove_prefix(take);
+    if (buffer_.size() >= kFrameHeaderBytes) {
+      check_header(decode_le32(buffer_.data()), limits_);
+    }
+    if (bytes.empty()) return;
+  }
+  buffer_.append(bytes);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t payload_bytes = decode_le32(buffer_.data());
+  check_header(payload_bytes, limits_);
+  if (buffer_.size() < kFrameHeaderBytes + payload_bytes) return std::nullopt;
+  std::string payload =
+      buffer_.substr(kFrameHeaderBytes, payload_bytes);
+  buffer_.erase(0, kFrameHeaderBytes + payload_bytes);
+  if (buffer_.size() >= kFrameHeaderBytes) {
+    check_header(decode_le32(buffer_.data()), limits_);
+  }
+  return payload;
+}
+
+void FrameDecoder::finish() const {
+  if (!buffer_.empty()) {
+    throw ProtocolError("frame error: stream ended mid-frame (" +
+                        std::to_string(buffer_.size()) +
+                        " bytes of a partial frame buffered)");
+  }
+}
+
+namespace {
+
+/// Reads exactly \p count bytes into \p out. Returns the number of bytes
+/// read before EOF (== count unless the peer closed early); throws on a
+/// hard read error.
+std::size_t read_exact(int fd, char* out, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t got = ::read(fd, out + done, count - done);
+    if (got == 0) return done;  // EOF
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("frame read failed: ") +
+                          std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return done;
+}
+
+}  // namespace
+
+std::optional<std::string> read_frame(int fd, const FrameLimits& limits) {
+  char header[kFrameHeaderBytes];
+  const std::size_t header_got = read_exact(fd, header, kFrameHeaderBytes);
+  if (header_got == 0) return std::nullopt;  // clean EOF between frames
+  if (header_got < kFrameHeaderBytes) {
+    throw ProtocolError("frame error: stream ended inside a frame header");
+  }
+  const std::uint32_t payload_bytes = decode_le32(header);
+  // Limit check strictly precedes the payload allocation below.
+  check_header(payload_bytes, limits);
+  std::string payload(payload_bytes, '\0');
+  if (read_exact(fd, payload.data(), payload_bytes) < payload_bytes) {
+    throw ProtocolError("frame error: stream ended mid-payload");
+  }
+  return payload;
+}
+
+void write_frame(int fd, std::string_view payload, const FrameLimits& limits) {
+  const std::string frame = encode_frame(payload, limits);
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE here, not as
+    // a process-killing SIGPIPE. Pipes (tests) take the plain-write path.
+    ssize_t put = ::send(fd, frame.data() + done, frame.size() - done,
+                         MSG_NOSIGNAL);
+    if (put < 0 && errno == ENOTSOCK) {
+      put = ::write(fd, frame.data() + done, frame.size() - done);
+    }
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("frame write failed: ") +
+                          std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(put);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON schemas
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] const char* to_string(Request::Op op) noexcept {
+  switch (op) {
+    case Request::Op::kPartition:
+      return "partition";
+    case Request::Op::kPing:
+      return "ping";
+    case Request::Op::kStats:
+      return "stats";
+    case Request::Op::kShutdown:
+      return "shutdown";
+  }
+  return "ping";
+}
+
+[[nodiscard]] Request::Op parse_op(std::string_view name) {
+  if (name == "partition") return Request::Op::kPartition;
+  if (name == "ping") return Request::Op::kPing;
+  if (name == "stats") return Request::Op::kStats;
+  if (name == "shutdown") return Request::Op::kShutdown;
+  throw ProtocolError("request error: unknown op \"" + std::string(name) +
+                      "\"");
+}
+
+/// Integer member \p key of object \p node; \p fallback when absent.
+/// Throws ProtocolError when present but not a number. The reader stores
+/// numbers as double, so magnitudes must stay below 2^53 — every protocol
+/// quantity (ids, budgets, microseconds) does.
+[[nodiscard]] std::int64_t int_or(const json::Value& node,
+                                  std::string_view key,
+                                  std::int64_t fallback) {
+  const json::Value* member = node.find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_number()) {
+    throw ProtocolError("request error: member \"" + std::string(key) +
+                        "\" must be a number");
+  }
+  return static_cast<std::int64_t>(member->as_number());
+}
+
+[[nodiscard]] const std::string& string_member(const json::Value& node,
+                                               std::string_view key) {
+  const json::Value* member = node.find(key);
+  if (member == nullptr || !member->is_string()) {
+    throw ProtocolError("protocol error: missing string member \"" +
+                        std::string(key) + "\"");
+  }
+  return member->as_string();
+}
+
+[[nodiscard]] json::Value parse_document(std::string_view payload,
+                                         const char* what) {
+  try {
+    return json::parse(payload);
+  } catch (const IoError& error) {
+    throw ProtocolError(std::string(what) + " error: " + error.what());
+  }
+}
+
+}  // namespace
+
+ml::EngineChoice parse_engine(std::string_view name) {
+  if (name == "flat") return ml::EngineChoice::kFlat;
+  if (name == "multilevel") return ml::EngineChoice::kMultilevel;
+  if (name == "auto") return ml::EngineChoice::kAuto;
+  throw ProtocolError("request error: unknown engine \"" + std::string(name) +
+                      "\"");
+}
+
+ml::RefinerChoice parse_refiner(std::string_view name) {
+  if (name == "fm") return ml::RefinerChoice::kFm;
+  if (name == "flow") return ml::RefinerChoice::kFlow;
+  if (name == "flow+fm") return ml::RefinerChoice::kFlowFm;
+  throw ProtocolError("request error: unknown refiner \"" +
+                      std::string(name) + "\"");
+}
+
+std::string to_json(const Request& request) {
+  json::Writer w;
+  w.begin_object();
+  w.member("op", to_string(request.op));
+  w.member("id", request.id);
+  if (request.op == Request::Op::kPartition) {
+    w.member("hypergraph", request.hypergraph);
+    const RequestOptions& o = request.options;
+    w.key("options").begin_object();
+    w.member("seed", o.seed);
+    w.member("starts", o.starts);
+    w.member("engine", ml::to_string(o.engine));
+    w.member("refiner", ml::to_string(o.refiner));
+    if (o.deadline_us > 0) w.member("deadline_us", o.deadline_us);
+    if (o.assume_start_cost_us > 0) {
+      w.member("assume_start_cost_us", o.assume_start_cost_us);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return std::move(w).take();
+}
+
+Request parse_request(std::string_view payload) {
+  const json::Value doc = parse_document(payload, "request");
+  if (!doc.is_object()) {
+    throw ProtocolError("request error: payload must be a JSON object");
+  }
+  Request request;
+  request.op = parse_op(string_member(doc, "op"));
+  request.id = int_or(doc, "id", 0);
+  if (request.op == Request::Op::kPartition) {
+    request.hypergraph = string_member(doc, "hypergraph");
+    if (const json::Value* options = doc.find("options");
+        options != nullptr) {
+      if (!options->is_object()) {
+        throw ProtocolError("request error: \"options\" must be an object");
+      }
+      RequestOptions& o = request.options;
+      o.seed = static_cast<std::uint64_t>(int_or(*options, "seed", 1));
+      o.starts = static_cast<int>(int_or(*options, "starts", o.starts));
+      if (o.starts < 1) {
+        throw ProtocolError("request error: starts must be >= 1");
+      }
+      if (const json::Value* engine = options->find("engine");
+          engine != nullptr && engine->is_string()) {
+        o.engine = parse_engine(engine->as_string());
+      }
+      if (const json::Value* refiner = options->find("refiner");
+          refiner != nullptr && refiner->is_string()) {
+        o.refiner = parse_refiner(refiner->as_string());
+      }
+      o.deadline_us = int_or(*options, "deadline_us", 0);
+      o.assume_start_cost_us = int_or(*options, "assume_start_cost_us", 0);
+      if (o.deadline_us < 0 || o.assume_start_cost_us < 0) {
+        throw ProtocolError("request error: deadlines must be non-negative");
+      }
+    }
+  }
+  return request;
+}
+
+std::string to_json(const Response& response) {
+  json::Writer w;
+  w.begin_object();
+  w.member("id", response.id);
+  w.member("status", response.status);
+  if (!response.error.empty()) w.member("error", response.error);
+  if (!response.engine.empty()) {
+    w.member("engine", response.engine);
+    w.member("levels", response.levels);
+    w.member("cached", response.cached);
+    w.member("degraded", response.degraded);
+    w.member("starts_used", response.starts_used);
+    w.member("cut_weight", response.cut_weight);
+    w.member("cut_edges", response.cut_edges);
+    // Sides travel as a '0'/'1' digit string: one byte per module instead
+    // of ~2 as a JSON array, and immune to the reader's double storage.
+    std::string sides;
+    sides.reserve(response.sides.size());
+    for (const std::uint8_t side : response.sides) {
+      sides.push_back(side != 0 ? '1' : '0');
+    }
+    w.member("sides", sides);
+  }
+  w.member("latency_us", response.latency_us);
+  if (!response.stats_json.empty()) {
+    w.member_raw("stats", response.stats_json);
+  }
+  w.end_object();
+  return std::move(w).take();
+}
+
+Response parse_response(std::string_view payload) {
+  const json::Value doc = parse_document(payload, "response");
+  if (!doc.is_object()) {
+    throw ProtocolError("response error: payload must be a JSON object");
+  }
+  Response response;
+  response.id = int_or(doc, "id", 0);
+  response.status = string_member(doc, "status");
+  if (const json::Value* error = doc.find("error");
+      error != nullptr && error->is_string()) {
+    response.error = error->as_string();
+  }
+  if (const json::Value* engine = doc.find("engine");
+      engine != nullptr && engine->is_string()) {
+    response.engine = engine->as_string();
+    response.levels = static_cast<int>(int_or(doc, "levels", 0));
+    if (const json::Value* cached = doc.find("cached");
+        cached != nullptr && cached->is_bool()) {
+      response.cached = cached->as_bool();
+    }
+    if (const json::Value* degraded = doc.find("degraded");
+        degraded != nullptr && degraded->is_bool()) {
+      response.degraded = degraded->as_bool();
+    }
+    response.starts_used = static_cast<int>(int_or(doc, "starts_used", 0));
+    response.cut_weight = static_cast<Weight>(int_or(doc, "cut_weight", 0));
+    response.cut_edges = static_cast<EdgeId>(int_or(doc, "cut_edges", 0));
+    const std::string& sides = string_member(doc, "sides");
+    response.sides.reserve(sides.size());
+    for (const char digit : sides) {
+      if (digit != '0' && digit != '1') {
+        throw ProtocolError("response error: sides must be '0'/'1' digits");
+      }
+      response.sides.push_back(digit == '1' ? 1 : 0);
+    }
+  }
+  response.latency_us = int_or(doc, "latency_us", 0);
+  if (const json::Value* stats = doc.find("stats"); stats != nullptr) {
+    response.stats_json = json::dump(*stats);
+  }
+  return response;
+}
+
+}  // namespace fhp::serve

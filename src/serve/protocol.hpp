@@ -1,0 +1,174 @@
+/// \file protocol.hpp
+/// Wire protocol of the partition daemon (docs/serving.md): length-prefixed
+/// JSON frames over a unix-domain stream socket.
+///
+/// Frame layout: a 4-byte little-endian payload length, then exactly that
+/// many payload bytes (one JSON document). The hostile-input policy mirrors
+/// the parser stacks (docs/formats.md "Large instances"): a frame header is
+/// validated against FrameLimits::max_frame_bytes BEFORE any allocation
+/// proportional to the claimed size, so a forged multi-gigabyte length
+/// prefix costs 4 bytes of reads and a typed ProtocolError, never an
+/// allocation. Truncated frames (EOF mid-header or mid-payload) and
+/// zero-length frames fail typed as well.
+///
+/// Payloads are JSON requests/responses (schemas below, serialized with
+/// util/json's Writer and parsed with its reader). Unknown members are
+/// ignored on read, so the protocol is forward-extensible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "multilevel/engine.hpp"
+#include "partition/metrics.hpp"
+#include "util/error.hpp"
+
+namespace fhp::serve {
+
+/// Malformed framing or request/response payload. Derives from IoError so
+/// generic tooling can treat it as bad external input.
+class ProtocolError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Framing bounds, enforced on both ends.
+struct FrameLimits {
+  /// Largest admissible payload. The default fits a ~5M-module inline
+  /// hMETIS netlist; raise it for bigger inline instances (the daemon and
+  /// client must agree).
+  std::uint32_t max_frame_bytes = 64u << 20;
+};
+
+/// Bytes of a frame header (the little-endian u32 payload length).
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Encodes one frame (header + payload). Throws ProtocolError when the
+/// payload is empty or exceeds \p limits.
+[[nodiscard]] std::string encode_frame(std::string_view payload,
+                                       const FrameLimits& limits = {});
+
+/// Incremental frame decoder for a byte stream fed in arbitrary chunks.
+/// Buffers at most one frame; the length prefix is validated against the
+/// limits as soon as its 4 bytes are available — before any payload
+/// buffering — so a hostile length costs nothing.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FrameLimits limits = {}) : limits_(limits) {}
+
+  /// Appends raw bytes from the stream.
+  void feed(std::string_view bytes);
+
+  /// Next complete payload, or nullopt when more bytes are needed.
+  /// Throws ProtocolError on an invalid header (zero or oversized length).
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Call at end-of-stream: throws ProtocolError if a partial frame is
+  /// buffered (the peer died mid-frame).
+  void finish() const;
+
+  /// Bytes currently buffered (tests assert the no-allocation policy).
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  FrameLimits limits_;
+  std::string buffer_;
+};
+
+/// Blocking read of one frame from \p fd. Returns nullopt on clean EOF at
+/// a frame boundary; throws ProtocolError on truncation, a hostile header,
+/// or a read error.
+[[nodiscard]] std::optional<std::string> read_frame(
+    int fd, const FrameLimits& limits = {});
+
+/// Blocking write of one frame to \p fd. Throws ProtocolError on a write
+/// error (including a peer that hung up) or an over-limit payload.
+void write_frame(int fd, std::string_view payload,
+                 const FrameLimits& limits = {});
+
+// ---------------------------------------------------------------------------
+// Request / response schemas
+// ---------------------------------------------------------------------------
+
+/// Per-request partitioning knobs (JSON member "options").
+struct RequestOptions {
+  std::uint64_t seed = 1;
+  /// Multi-start budget the client asks for; the deadline mapping may
+  /// truncate it (scheduler.hpp).
+  int starts = 50;
+  ml::EngineChoice engine = ml::EngineChoice::kAuto;
+  ml::RefinerChoice refiner = ml::RefinerChoice::kFm;
+  /// Latency budget in microseconds; 0 = none. A deadline request is
+  /// answered within the budget by truncating the start budget (and
+  /// skipping flow refinement) rather than by missing the SLA; such
+  /// responses carry degraded = true and are never cached.
+  std::int64_t deadline_us = 0;
+  /// Pins the per-start cost estimate the deadline mapping divides by
+  /// (microseconds); 0 = use the server's live EWMA. Pinning makes the
+  /// deadline -> budget mapping a pure function — the load generator and
+  /// the deadline tests rely on it for reproducible responses.
+  std::int64_t assume_start_cost_us = 0;
+};
+
+/// One client request.
+struct Request {
+  enum class Op { kPartition, kPing, kStats, kShutdown };
+
+  Op op = Op::kPing;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  std::int64_t id = 0;
+  /// Inline hMETIS netlist text (op == kPartition only).
+  std::string hypergraph;
+  RequestOptions options;
+};
+
+/// One daemon response.
+struct Response {
+  std::int64_t id = 0;
+  /// "ok" | "rejected" | "error". Rejections are admission-control
+  /// decisions (bounded queue full, shutting down); errors are malformed
+  /// requests (bad JSON, bad netlist) — both typed, neither kills the
+  /// connection.
+  std::string status;
+  std::string error;  ///< diagnostic for rejected/error
+  std::string engine;  ///< engine that produced the partition
+  int levels = 0;
+  bool cached = false;    ///< served from the instance result cache
+  bool degraded = false;  ///< deadline truncated the quality budget
+  int starts_used = 0;    ///< effective multi-start budget after mapping
+  std::int64_t latency_us = 0;  ///< admission -> response, daemon-side
+  Weight cut_weight = 0;
+  EdgeId cut_edges = 0;
+  std::vector<std::uint8_t> sides;  ///< side per module (empty on failure)
+  /// Raw JSON payload for op == kStats ("{}" otherwise).
+  std::string stats_json;
+
+  [[nodiscard]] bool ok() const noexcept { return status == "ok"; }
+};
+
+/// Inverse of ml::to_string(EngineChoice); throws ProtocolError on an
+/// unknown name (shared by the request parser and fhp_client's flags).
+[[nodiscard]] ml::EngineChoice parse_engine(std::string_view name);
+
+/// Inverse of ml::to_string(RefinerChoice); throws ProtocolError on an
+/// unknown name.
+[[nodiscard]] ml::RefinerChoice parse_refiner(std::string_view name);
+
+/// Serializes a request payload (the client side of the protocol).
+[[nodiscard]] std::string to_json(const Request& request);
+
+/// Parses a request payload. Throws ProtocolError on malformed JSON, an
+/// unknown op, or schema violations.
+[[nodiscard]] Request parse_request(std::string_view payload);
+
+/// Serializes a response payload (the daemon side).
+[[nodiscard]] std::string to_json(const Response& response);
+
+/// Parses a response payload. Throws ProtocolError on malformed JSON.
+[[nodiscard]] Response parse_response(std::string_view payload);
+
+}  // namespace fhp::serve

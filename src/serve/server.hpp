@@ -1,0 +1,76 @@
+/// \file server.hpp
+/// The partition daemon's transport: a unix-domain stream socket speaking
+/// the length-prefixed JSON protocol (protocol.hpp), one thread per
+/// connection, all partitioning delegated to the Scheduler.
+///
+/// A connection processes its requests sequentially (responses come back
+/// in request order); concurrency across clients comes from one thread
+/// per connection all funneling into the shared scheduler, whose
+/// admission control bounds the damage any client mix can do. Malformed
+/// frames or requests are answered with typed error responses where
+/// possible and at worst close that one connection — never the daemon.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+
+namespace fhp::serve {
+
+/// Daemon configuration (CLI flags of tools/fhp_serve map onto this).
+struct ServerOptions {
+  /// Filesystem path to bind the AF_UNIX socket at. A stale socket file
+  /// from a dead daemon is unlinked on startup; a live one fails bind
+  /// with a typed error.
+  std::string socket_path;
+  SchedulerOptions scheduler;
+  FrameLimits limits;
+};
+
+/// The daemon. Construct, start(), then wait() until a shutdown request
+/// arrives (or call shutdown() from another thread; tests run it
+/// in-process this way).
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns the accept loop. Throws IoError when the
+  /// socket cannot be bound.
+  void start();
+
+  /// Blocks until shutdown() is triggered (by a shutdown request or
+  /// another thread).
+  void wait();
+
+  /// Stops accepting, unblocks every connection, drains their threads,
+  /// and stops the scheduler. Idempotent, callable from any thread
+  /// (including a connection thread handling a shutdown request).
+  void shutdown();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+
+  /// The scheduler, exposed for in-process tests and stats.
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
+
+ private:
+  struct Impl;
+
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Builds the response to one parsed request (partition/ping/stats);
+  /// a shutdown request gets its ok response in serve_connection before
+  /// the shutdown is triggered.
+  [[nodiscard]] Response handle(const Request& request);
+
+  ServerOptions options_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fhp::serve

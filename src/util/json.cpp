@@ -1,5 +1,8 @@
 #include "util/json.hpp"
 
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -290,6 +293,205 @@ class Parser {
 };
 
 Value parse(std::string_view text) { return Parser(text).run(); }
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::on_value() {
+  if (stack_.empty()) {
+    FHP_REQUIRE(!root_written_,
+                "JSON writer: only one root value per document");
+    root_written_ = true;
+    return;
+  }
+  switch (stack_.back()) {
+    case Frame::kObjectKey:
+      FHP_REQUIRE(false, "JSON writer: object member needs key() first");
+      break;
+    case Frame::kObjectValue:
+      // The key already placed the comma and colon; the value completes
+      // the member and the object goes back to expecting a key.
+      stack_.back() = Frame::kObjectKey;
+      break;
+    case Frame::kArray:
+      if (comma_pending_) out_ += ", ";
+      break;
+  }
+  comma_pending_ = false;
+}
+
+Writer& Writer::open(char bracket, Frame frame) {
+  on_value();
+  out_ += bracket;
+  stack_.push_back(frame);
+  comma_pending_ = false;
+  return *this;
+}
+
+Writer& Writer::close(char bracket, Frame frame) {
+  FHP_REQUIRE(!stack_.empty() && stack_.back() == frame,
+              "JSON writer: mismatched container close");
+  stack_.pop_back();
+  out_ += bracket;
+  comma_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  FHP_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObjectKey,
+              "JSON writer: key() only directly inside an object");
+  if (comma_pending_) out_ += ", ";
+  comma_pending_ = false;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  stack_.back() = Frame::kObjectValue;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  on_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  comma_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  on_value();
+  out_ += v ? "true" : "false";
+  comma_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::integer(long long v) {
+  on_value();
+  out_ += std::to_string(v);
+  comma_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::unsigned_integer(unsigned long long v) {
+  on_value();
+  out_ += std::to_string(v);
+  comma_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  on_value();
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Infinity; a degenerate statistic must not make the
+    // whole artifact unparseable.
+    out_ += "null";
+  } else {
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), v);
+    FHP_ASSERT(ec == std::errc(), "double formatting cannot fail");
+    out_.append(buffer, end);
+  }
+  comma_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  on_value();
+  out_ += "null";
+  comma_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view already_json) {
+  on_value();
+  out_ += already_json;
+  comma_pending_ = true;
+  return *this;
+}
+
+std::string Writer::take() && {
+  FHP_REQUIRE(stack_.empty() && root_written_,
+              "JSON writer: document incomplete");
+  return std::move(out_);
+}
+
+namespace {
+
+void dump_value(Writer& w, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      w.null();
+      break;
+    case Value::Kind::kBool:
+      w.value(v.as_bool());
+      break;
+    case Value::Kind::kNumber:
+      w.value(v.as_number());
+      break;
+    case Value::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case Value::Kind::kArray:
+      w.begin_array();
+      for (const Value& item : v.items()) dump_value(w, item);
+      w.end_array();
+      break;
+    case Value::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : v.members()) {
+        w.key(key);
+        dump_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& value) {
+  Writer w;
+  dump_value(w, value);
+  return std::move(w).take();
+}
 
 Value parse_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);

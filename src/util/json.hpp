@@ -1,17 +1,22 @@
 /// \file json.hpp
-/// Minimal read-only JSON parser for the tooling layer (benchdiff, ledger
-/// queries). Parses a complete document into an immutable Value tree;
-/// object member order is preserved (BENCH_*.json series are recorded in
+/// Minimal JSON layer for the tooling and serving paths: a read-only
+/// parser (benchdiff, ledger queries, the serving protocol) plus a
+/// streaming Writer (run reports, --metrics-out, protocol frames). The
+/// reader parses a complete document into an immutable Value tree; object
+/// member order is preserved (BENCH_*.json series are recorded in
 /// first-measured order and reports should render them the same way).
 ///
 /// Scope: full JSON syntax (objects, arrays, strings with escapes,
 /// numbers, true/false/null). Numbers are stored as double — counters in
 /// run reports stay well under 2^53, so round-tripping is exact for every
 /// value the harness emits. Malformed input throws fhp::IoError with the
-/// byte offset of the problem. This is a reader for our own artifacts, not
-/// a general-purpose serialization layer: no writer, no mutation.
+/// byte offset of the problem. The Writer emits only what the reader
+/// accepts (fuzzed round-trip in tests/test_json.cpp); it is a
+/// serializer for our own artifacts, not a general pretty-printer.
 #pragma once
 
+#include <concepts>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -75,5 +80,104 @@ class Value {
 /// Reads and parses the JSON file at \p path. Throws fhp::IoError when the
 /// file cannot be read or does not parse.
 [[nodiscard]] Value parse_file(const std::string& path);
+
+/// Escapes \p text for inclusion inside a JSON string literal: quote,
+/// backslash and control characters become their escape sequences; all
+/// other bytes (including UTF-8 multibyte sequences) pass through.
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Streaming JSON writer: builds one complete document in memory with
+/// correct string escaping, number formatting, and nesting bookkeeping
+/// (commas and colons are emitted automatically). Misuse — a key outside
+/// an object, mismatched end_*, taking an incomplete document — throws
+/// fhp::PreconditionError, so emitter bugs fail loudly instead of
+/// producing unparseable artifacts.
+///
+/// Number policy: integers are emitted exactly; doubles use the shortest
+/// representation that round-trips through the reader (std::to_chars).
+/// JSON has no NaN/Infinity, so non-finite doubles serialize as null —
+/// a report with a degenerate statistic must still parse.
+///
+///   Writer w;
+///   w.begin_object();
+///   w.member("cut", 42).member("name", "IC2");
+///   w.key("series").begin_array().value(1.5).value(2).end_array();
+///   w.end_object();
+///   std::string doc = std::move(w).take();
+class Writer {
+ public:
+  Writer() = default;
+
+  Writer& begin_object() { return open('{', Frame::kObjectKey); }
+  Writer& end_object() { return close('}', Frame::kObjectKey); }
+  Writer& begin_array() { return open('[', Frame::kArray); }
+  Writer& end_array() { return close(']', Frame::kArray); }
+
+  /// Member name; must be directly inside an object, and must be followed
+  /// by exactly one value (or container).
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(bool v);
+  /// Integral overload (int, long long, VertexId, std::size_t, ...).
+  template <std::integral T>
+    requires(!std::same_as<T, bool>)
+  Writer& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return integer(static_cast<long long>(v));
+    } else {
+      return unsigned_integer(static_cast<unsigned long long>(v));
+    }
+  }
+  Writer& value(double v);
+  Writer& null();
+
+  /// Splices \p already_json verbatim in value position — the escape
+  /// hatch for composing with pre-rendered exporter output (e.g.
+  /// obs::to_json). The caller vouches that the text is one well-formed
+  /// JSON value.
+  Writer& raw(std::string_view already_json);
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  Writer& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+  /// key(k) + raw(v) in one call.
+  Writer& member_raw(std::string_view k, std::string_view already_json) {
+    key(k);
+    return raw(already_json);
+  }
+
+  /// Finalizes and returns the document. Requires every container closed
+  /// and exactly one root value written.
+  [[nodiscard]] std::string take() &&;
+
+ private:
+  enum class Frame : std::uint8_t {
+    kObjectKey,    ///< inside an object, expecting a key or '}'
+    kObjectValue,  ///< inside an object, key written, expecting the value
+    kArray,        ///< inside an array, expecting a value or ']'
+  };
+
+  /// Bookkeeping before any value (scalar or container open) is emitted.
+  void on_value();
+  Writer& open(char bracket, Frame frame);
+  Writer& close(char bracket, Frame frame);
+  Writer& integer(long long v);
+  Writer& unsigned_integer(unsigned long long v);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool root_written_ = false;
+  bool comma_pending_ = false;
+};
+
+/// Serializes a parsed Value tree back to text (numbers via the Writer's
+/// shortest-round-trip policy, member order preserved). parse(dump(v))
+/// reproduces v exactly for any tree the reader can produce.
+[[nodiscard]] std::string dump(const Value& value);
 
 }  // namespace fhp::json

@@ -68,6 +68,24 @@ class ThreadPool {
   /// Total execution lanes (worker threads + the calling thread); >= 1.
   [[nodiscard]] int thread_count() const noexcept { return lanes_; }
 
+  /// Alias of thread_count() under the name the serving layer's `pool/`
+  /// gauges use (docs/serving.md).
+  [[nodiscard]] int lane_count() const noexcept { return lanes_; }
+
+  /// Chunks of the currently executing region not yet completed; 0 when
+  /// the pool is quiescent. Takes the pool mutex briefly, so it is safe
+  /// to sample from any thread (the daemon's admission control and the
+  /// benches publish it as the `pool/pending_chunks` gauge) — but it is a
+  /// snapshot, not a synchronization primitive: by the time the caller
+  /// acts on it the region may have drained. Regions that run inline on
+  /// the serial fast path (one lane, or a single chunk) never appear
+  /// here — instrumenting them would put a lock on the serial hot path.
+  [[nodiscard]] std::size_t pending_chunks() const;
+
+  /// True while a parallel region is executing. Same snapshot caveat as
+  /// pending_chunks().
+  [[nodiscard]] bool busy() const;
+
   /// Lane index of the calling thread: pool workers are 1..N-1 (stable for
   /// the worker's lifetime), the thread driving a parallel_for is 0 while
   /// the region runs (even if it is itself a worker of an *outer* pool),
@@ -106,7 +124,7 @@ class ThreadPool {
   const int lanes_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< wakes workers for a region/shutdown
   std::condition_variable done_cv_;  ///< wakes the caller when chunks drain
 

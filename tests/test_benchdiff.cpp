@@ -129,6 +129,44 @@ TEST(Benchdiff, WorkspaceCounterDriftIsAdvisory) {
   EXPECT_EQ(counter->status, Status::kAdvisory);
 }
 
+TEST(Benchdiff, ServeAndPoolCounterDriftIsAdvisory) {
+  // serve/* and pool/* counters are daemon operational telemetry
+  // (batches formed, connections, pending chunks) whose totals depend on
+  // client/dispatcher timing — advisory, like workspace/*. cache/* stays
+  // on the exact gate: single-flight coalescing makes hits/misses
+  // timing-independent (docs/serving.md).
+  auto with_counters = [](long long batches, long long hits) {
+    std::string json = make_report(0.5, 42, 100000);
+    const std::string needle = "\"trace\": {\"counters\": {";
+    const std::size_t at = json.find(needle) + needle.size();
+    return json.substr(0, at) +
+           "\"serve/batches\": " + std::to_string(batches) +
+           ", \"pool/pending_chunks\": " + std::to_string(batches) +
+           ", \"cache/hits\": " + std::to_string(hits) + ", " +
+           json.substr(at);
+  };
+  const json::Value baseline = json::parse(with_counters(4, 80));
+  {  // serve/pool drift alone: advisory, verdict ok
+    const json::Value drifted = json::parse(with_counters(5, 80));
+    const DiffResult result = benchdiff::diff(baseline, drifted, Options{});
+    EXPECT_FALSE(result.regressed);
+    const Entry* serve = find_entry(result, "counter/serve/batches");
+    ASSERT_NE(serve, nullptr);
+    EXPECT_EQ(serve->status, Status::kAdvisory);
+    const Entry* pool = find_entry(result, "counter/pool/pending_chunks");
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->status, Status::kAdvisory);
+  }
+  {  // cache drift: exact regression
+    const json::Value drifted = json::parse(with_counters(4, 81));
+    const DiffResult result = benchdiff::diff(baseline, drifted, Options{});
+    EXPECT_TRUE(result.regressed);
+    const Entry* cache = find_entry(result, "counter/cache/hits");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->status, Status::kRegressed);
+  }
+}
+
 TEST(Benchdiff, CounterGateSkippedWithoutTracing) {
   // Counter drift must not gate when either side lacks compiled tracing —
   // an OFF build legitimately reports no instrumentation work.

@@ -157,6 +157,75 @@ TEST(HypergraphBuilder, RejectsZeroPinEdgesByDefault) {
   EXPECT_THROW((void)b.add_edge({}), PreconditionError);
 }
 
+/// The fixed 4-vertex, 3-net instance the fingerprint tests perturb.
+Hypergraph fingerprint_base() {
+  HypergraphBuilder b;
+  b.add_vertices(4);
+  b.add_edge({0, 1, 2}, 2);
+  b.add_edge({2, 3});
+  b.add_edge({0, 3}, 5);
+  return std::move(b).build();
+}
+
+TEST(HypergraphFingerprint, EqualStructuresAgreeAcrossBuildPaths) {
+  const Hypergraph via_builder = fingerprint_base();
+  // Same structure assembled through from_csr instead of the builder.
+  const Hypergraph via_csr = Hypergraph::from_csr(
+      {0, 3, 5, 7}, {0, 1, 2, 2, 3, 0, 3}, {1, 1, 1, 1}, {2, 1, 5});
+  EXPECT_EQ(via_builder.fingerprint(), via_csr.fingerprint());
+  // And it is a pure function: recomputing agrees with itself.
+  EXPECT_EQ(via_builder.fingerprint(), via_builder.fingerprint());
+}
+
+TEST(HypergraphFingerprint, EveryPerturbationChangesIt) {
+  const Hypergraph::Fingerprint base = fingerprint_base().fingerprint();
+
+  {  // different pin in one net
+    HypergraphBuilder b;
+    b.add_vertices(4);
+    b.add_edge({0, 1, 3}, 2);
+    b.add_edge({2, 3});
+    b.add_edge({0, 3}, 5);
+    EXPECT_NE(std::move(b).build().fingerprint(), base);
+  }
+  {  // different edge weight
+    HypergraphBuilder b;
+    b.add_vertices(4);
+    b.add_edge({0, 1, 2}, 3);
+    b.add_edge({2, 3});
+    b.add_edge({0, 3}, 5);
+    EXPECT_NE(std::move(b).build().fingerprint(), base);
+  }
+  {  // different vertex weight
+    HypergraphBuilder b;
+    b.add_vertices(4);
+    b.set_vertex_weight(1, 7);
+    b.add_edge({0, 1, 2}, 2);
+    b.add_edge({2, 3});
+    b.add_edge({0, 3}, 5);
+    EXPECT_NE(std::move(b).build().fingerprint(), base);
+  }
+  {  // extra isolated vertex (same nets)
+    HypergraphBuilder b;
+    b.add_vertices(5);
+    b.add_edge({0, 1, 2}, 2);
+    b.add_edge({2, 3});
+    b.add_edge({0, 3}, 5);
+    EXPECT_NE(std::move(b).build().fingerprint(), base);
+  }
+  {  // extra net
+    HypergraphBuilder b;
+    b.add_vertices(4);
+    b.add_edge({0, 1, 2}, 2);
+    b.add_edge({2, 3});
+    b.add_edge({0, 3}, 5);
+    b.add_edge({1, 3});
+    EXPECT_NE(std::move(b).build().fingerprint(), base);
+  }
+  // Empty hypergraphs fingerprint too (and differ from non-empty).
+  EXPECT_NE(Hypergraph().fingerprint(), base);
+}
+
 TEST(HypergraphBuilder, AllowEmptyEdgesOptsIn) {
   HypergraphBuilder b;
   b.add_vertices(3);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <random>
 #include <string>
 
 #include "obs/report.hpp"
@@ -67,6 +69,97 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(static_cast<void>(json::parse("tru")), IoError);
   EXPECT_THROW(static_cast<void>(json::parse("1 2")), IoError);
   EXPECT_THROW(static_cast<void>(json::parse("\"unterminated")), IoError);
+}
+
+/// Emits one random JSON value into \p w and appends an expectation
+/// script: scalar leaves are recorded so the parsed tree can be checked
+/// against what the Writer was told to write.
+void write_random_value(json::Writer& w, std::mt19937_64& rng, int depth) {
+  // Shallower trees as depth grows; leaves only at the cap.
+  const int kind = depth >= 4 ? static_cast<int>(rng() % 5)
+                              : static_cast<int>(rng() % 7);
+  switch (kind) {
+    case 0: w.null(); break;
+    case 1: w.value(rng() % 2 == 0); break;
+    case 2: w.value(static_cast<long long>(rng() % 2000) - 1000); break;
+    case 3:
+      // Dyadic fractions round-trip exactly through double formatting.
+      w.value(static_cast<double>(static_cast<int>(rng() % 4096) - 2048) /
+              64.0);
+      break;
+    case 4: {
+      // Hostile-ish strings: quotes, backslashes, control chars, UTF-8.
+      static const char* kStrings[] = {"", "plain", "with \"quotes\"",
+                                       "back\\slash", "tab\there\n",
+                                       "caf\xc3\xa9", "\x01\x1f control"};
+      w.value(kStrings[rng() % 7]);
+      break;
+    }
+    case 5: {
+      w.begin_array();
+      const std::uint64_t n = rng() % 4;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        write_random_value(w, rng, depth + 1);
+      }
+      w.end_array();
+      break;
+    }
+    default: {
+      w.begin_object();
+      const std::uint64_t n = rng() % 4;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        w.key("k" + std::to_string(i));
+        write_random_value(w, rng, depth + 1);
+      }
+      w.end_object();
+      break;
+    }
+  }
+}
+
+TEST(Json, FuzzedWriterOutputRoundTrips) {
+  // The Writer's contract: everything it emits, the reader accepts, and
+  // dump(parse(x)) is a fixpoint (so re-serialization is stable).
+  std::mt19937_64 rng(20260808);
+  for (int doc = 0; doc < 200; ++doc) {
+    json::Writer w;
+    write_random_value(w, rng, 0);
+    const std::string text = std::move(w).take();
+    const json::Value parsed = json::parse(text);
+    const std::string dumped = json::dump(parsed);
+    EXPECT_EQ(json::dump(json::parse(dumped)), dumped)
+        << "document " << doc << ": " << text;
+  }
+}
+
+TEST(Json, WriterNonFiniteDoublesBecomeNull) {
+  json::Writer w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  const json::Value v = json::parse(std::move(w).take());
+  ASSERT_EQ(v.items().size(), 2U);
+  EXPECT_TRUE(v.items()[0].is_null());
+  EXPECT_TRUE(v.items()[1].is_null());
+}
+
+TEST(Json, WriterMisuseThrowsTyped) {
+  {
+    json::Writer w;
+    EXPECT_THROW(w.key("orphan"), PreconditionError);  // key outside object
+  }
+  {
+    json::Writer w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), PreconditionError);  // mismatched close
+  }
+  {
+    json::Writer w;
+    w.begin_object();
+    EXPECT_THROW(static_cast<void>(std::move(w).take()),
+                 PreconditionError);  // incomplete document
+  }
 }
 
 TEST(Json, ReadsOwnExporterOutput) {

@@ -259,6 +259,43 @@ TEST(Parallel, Algorithm1BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Parallel, SerialAlgorithm1InsidePoolWorkerMatchesDirect) {
+  // The serving scheduler batches small jobs by running one *serial*
+  // (threads = 1) engine per pool lane, nesting algorithm1 inside an
+  // outer parallel_for region. A serial run must not touch the outer
+  // pool's lane-scratch (regression: lane-indexed scratch sized for the
+  // inner run being read from an outer worker lane); results must match
+  // a plain serial call exactly. ASAN/TSAN runs of this test guard the
+  // memory side.
+  constexpr std::size_t kJobs = 4;
+  std::vector<Hypergraph> instances;
+  std::vector<Algorithm1Result> direct(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    instances.push_back(determinism_instance(50 + i));
+    Algorithm1Options options;
+    options.seed = 9;
+    options.num_starts = 8;
+    options.threads = 1;
+    direct[i] = algorithm1(instances[i], options);
+  }
+
+  ThreadPool pool(3);
+  std::vector<Algorithm1Result> nested(kJobs);
+  pool.parallel_for(kJobs, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Algorithm1Options options;
+      options.seed = 9;
+      options.num_starts = 8;
+      options.threads = 1;
+      nested[i] = algorithm1(instances[i], options);
+    }
+  });
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(nested[i].sides, direct[i].sides) << "job " << i;
+    EXPECT_EQ(nested[i].metrics.cut_edges, direct[i].metrics.cut_edges);
+  }
+}
+
 TEST(Parallel, Algorithm1ThreadsViaEnvironmentMatchesSerial) {
   const Hypergraph h = determinism_instance(7);
   Algorithm1Options options;

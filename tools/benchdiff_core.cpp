@@ -152,8 +152,14 @@ void diff_counters(const json::Value& baseline, const json::Value& current,
     // workspace/* counters track per-lane allocator growth, which depends
     // on how the OS schedules pool lanes (an idle lane never grows its
     // workspace) — machine- and run-dependent, so advisory like RSS.
-    // Algorithm-work counters stay on the exact gate.
-    const bool scheduling_dependent = name.rfind("workspace/", 0) == 0;
+    // serve/* and pool/* counters are daemon operational telemetry
+    // (connections, batches formed, queue rejections) whose totals depend
+    // on client/dispatcher timing. Algorithm-work counters — including
+    // cache/{hits,misses}, which single-flight coalescing makes exact
+    // (docs/serving.md) — stay on the exact gate.
+    const bool scheduling_dependent = name.rfind("workspace/", 0) == 0 ||
+                                      name.rfind("serve/", 0) == 0 ||
+                                      name.rfind("pool/", 0) == 0;
     Entry e;
     e.metric = "counter/" + name;
     e.baseline = base_value.as_number();

@@ -1,0 +1,153 @@
+/// \file fhp_client.cpp
+/// Command-line client for the partition daemon (docs/serving.md).
+///
+///   fhp_client --socket PATH ping
+///   fhp_client --socket PATH stats
+///   fhp_client --socket PATH shutdown
+///   fhp_client --socket PATH partition FILE.hgr [options]
+///     --seed N        partitioning seed (default 1)
+///     --starts N      multi-start budget (default 50)
+///     --engine E      flat | multilevel | auto (default auto)
+///     --refiner R     fm | flow | flow+fm (default fm)
+///     --deadline-us N latency budget; quality degrades, SLA holds
+///     --sides-out F   write the '0'/'1' side string to F
+///
+/// Exit codes: 0 = ok response, 1 = rejected/error response, 2 = usage or
+/// transport failure.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/client.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH (ping | stats | shutdown | partition FILE "
+      "[--seed N] [--starts N] [--engine E] [--refiner R] "
+      "[--deadline-us N] [--sides-out F])\n",
+      argv0);
+  return 2;
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw fhp::IoError("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string command;
+  std::string netlist_path;
+  std::string sides_out;
+  fhp::serve::RequestOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    try {
+      if (arg == "--socket") {
+        const char* value = next();
+        if (value == nullptr) return usage(argv[0]);
+        socket_path = value;
+      } else if (arg == "--seed") {
+        const char* value = next();
+        if (value == nullptr) return usage(argv[0]);
+        options.seed = std::strtoull(value, nullptr, 10);
+      } else if (arg == "--starts") {
+        const char* value = next();
+        if (value == nullptr) return usage(argv[0]);
+        options.starts = std::atoi(value);
+      } else if (arg == "--engine") {
+        const char* value = next();
+        if (value == nullptr) return usage(argv[0]);
+        options.engine = fhp::serve::parse_engine(value);
+      } else if (arg == "--refiner") {
+        const char* value = next();
+        if (value == nullptr) return usage(argv[0]);
+        options.refiner = fhp::serve::parse_refiner(value);
+      } else if (arg == "--deadline-us") {
+        const char* value = next();
+        if (value == nullptr) return usage(argv[0]);
+        options.deadline_us = std::strtoll(value, nullptr, 10);
+      } else if (arg == "--sides-out") {
+        const char* value = next();
+        if (value == nullptr) return usage(argv[0]);
+        sides_out = value;
+      } else if (command.empty()) {
+        command = arg;
+      } else if (command == "partition" && netlist_path.empty()) {
+        netlist_path = arg;
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "fhp_client: %s\n", error.what());
+      return 2;
+    }
+  }
+  if (socket_path.empty() || command.empty()) return usage(argv[0]);
+  if (command == "partition" && netlist_path.empty()) return usage(argv[0]);
+
+  try {
+    fhp::serve::Client client;
+    client.connect(socket_path);
+
+    fhp::serve::Response response;
+    if (command == "ping") {
+      response = client.ping();
+      std::printf("pong (%lld us)\n",
+                  static_cast<long long>(response.latency_us));
+    } else if (command == "stats") {
+      response = client.stats();
+      std::printf("%s\n", response.stats_json.c_str());
+    } else if (command == "shutdown") {
+      response = client.shutdown_server();
+      std::printf("daemon acknowledged shutdown\n");
+    } else if (command == "partition") {
+      response = client.partition(read_file(netlist_path), options);
+      if (response.ok()) {
+        std::printf(
+            "cut_weight=%lld cut_edges=%lld engine=%s levels=%d "
+            "starts_used=%d cached=%d degraded=%d latency_us=%lld\n",
+            static_cast<long long>(response.cut_weight),
+            static_cast<long long>(response.cut_edges),
+            response.engine.c_str(), response.levels, response.starts_used,
+            response.cached ? 1 : 0, response.degraded ? 1 : 0,
+            static_cast<long long>(response.latency_us));
+        if (!sides_out.empty()) {
+          std::ofstream out(sides_out, std::ios::binary);
+          for (const auto side : response.sides) {
+            out.put(side != 0 ? '1' : '0');
+          }
+          out.put('\n');
+          if (!out) throw fhp::IoError("cannot write " + sides_out);
+        }
+      }
+    } else {
+      return usage(argv[0]);
+    }
+
+    if (!response.ok()) {
+      std::fprintf(stderr, "fhp_client: daemon said %s: %s\n",
+                   response.status.c_str(), response.error.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fhp_client: %s\n", error.what());
+    return 2;
+  }
+}

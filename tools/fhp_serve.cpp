@@ -1,0 +1,100 @@
+/// \file fhp_serve.cpp
+/// The partition daemon (docs/serving.md): binds a unix-domain socket and
+/// serves framed-JSON partition requests until a shutdown request arrives
+/// (or SIGINT/SIGTERM).
+///
+///   fhp_serve --socket PATH [options]
+///     --socket PATH        unix socket path to listen on (required)
+///     --threads N          pool lanes (default FHP_THREADS; 0 = all cores)
+///     --queue N            admission bound on queued jobs (default 64)
+///     --cache-bytes N      result-cache budget in bytes (default 64 MiB;
+///                          0 disables caching)
+///     --batch N            max small jobs dispatched per pool batch
+///                          (default 8)
+///     --max-frame-bytes N  largest admissible request frame (default
+///                          64 MiB)
+///
+/// Exit codes: 0 = clean shutdown, 2 = usage/bind error.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--threads N] [--queue N] "
+               "[--cache-bytes N] [--batch N] [--max-frame-bytes N]\n",
+               argv0);
+  return 2;
+}
+
+fhp::serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fhp::serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.socket_path = value;
+    } else if (arg == "--threads") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.scheduler.threads = std::atoi(value);
+    } else if (arg == "--queue") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.scheduler.max_queue =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--cache-bytes") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.scheduler.cache_bytes = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--batch") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.scheduler.max_batch =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--max-frame-bytes") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      options.limits.max_frame_bytes =
+          static_cast<std::uint32_t>(std::strtoull(value, nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.socket_path.empty()) return usage(argv[0]);
+
+  try {
+    fhp::serve::Server server(std::move(options));
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::fprintf(stderr, "fhp_serve: listening on %s\n",
+                 server.socket_path().c_str());
+    server.wait();
+    g_server = nullptr;
+    std::fprintf(stderr, "fhp_serve: shut down\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fhp_serve: %s\n", error.what());
+    return 2;
+  }
+}
